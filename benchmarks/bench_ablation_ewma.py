@@ -1,0 +1,59 @@
+"""Ablation: decay constant of the Space-Saving rate estimates.
+
+The paper tracks "an exponentially decaying moving average" per
+object.  The decay constant tau trades responsiveness for stability:
+tiny tau lets short bursts displace steady heavy hitters; huge tau
+approaches plain counting.  This bench measures top-list agreement
+between tau settings against the exact top list of the same stream.
+"""
+
+import collections
+
+import pytest
+
+from benchmarks.conftest import base_scenario, save_result
+from repro.analysis.tables import format_table
+from repro.observatory.keys import make_dataset
+from repro.observatory.tracker import TopKTracker
+from repro.simulation.sie import SieChannel
+
+
+@pytest.fixture(scope="module")
+def stream():
+    scenario = base_scenario(duration=240.0, client_qps=120.0)
+    return list(SieChannel(scenario).run())
+
+
+def _exact_top(stream, n):
+    counts = collections.Counter(t.server_ip for t in stream)
+    return [ip for ip, _ in counts.most_common(n)]
+
+
+def _tracked_top(stream, tau, k=400, n=50):
+    tracker = TopKTracker(make_dataset("srvip", k), tau=tau,
+                          use_bloom_gate=False)
+    for txn in stream:
+        tracker.observe(txn)
+    return [e.key for e in tracker.top(n)]
+
+
+def test_ablation_ewma_tau(benchmark, stream):
+    exact = set(_exact_top(stream, 50))
+    taus = (30.0, 300.0, 3000.0, 1e9)
+    agreements = {}
+    for tau in taus:
+        if tau == 300.0:
+            top = benchmark.pedantic(_tracked_top, args=(stream, tau),
+                                     rounds=2, iterations=1)
+        else:
+            top = _tracked_top(stream, tau)
+        agreements[tau] = len(set(top) & exact) / len(exact)
+    save_result("ablation_ewma", format_table(
+        ["tau [s]", "top-50 agreement"],
+        [("%g" % tau, "%.2f" % agreements[tau]) for tau in taus],
+        title="Ablation: Space-Saving decay constant"))
+
+    # The default (300 s) must identify the exact heavy hitters well,
+    # and the near-infinite tau (plain counting) must do so too.
+    assert agreements[300.0] > 0.8
+    assert agreements[1e9] > 0.8

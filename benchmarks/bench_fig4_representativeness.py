@@ -1,0 +1,57 @@
+"""Figure 4: data representativeness vs vantage-point sample size.
+
+Paper result: the number of nameservers seen in 1 h converges to
+500-600 K as the VP fraction grows (bounded missing set); a 5 % VP
+sample already sees 95 % of the top-10K nameserver list; observed
+TLDs converge to ~1,150 actively used.
+"""
+
+import pytest
+
+from benchmarks.conftest import BenchRun, base_scenario, save_result
+from repro.analysis.representativeness import (
+    convergence_ratio,
+    render_figure4,
+    vp_sample_curves,
+)
+
+
+@pytest.fixture(scope="module")
+def available_data_run():
+    """The paper's second curve: "Available data" previews the effect
+    of ingesting all SIE channels -- more vantage points carrying
+    proportionally more client traffic."""
+    return BenchRun(base_scenario(n_resolvers=96, n_contributors=16,
+                                  client_qps=225.0),
+                    datasets=["qtype"])
+
+
+def test_fig4_vp_sampling(benchmark, base_run, available_data_run):
+    curves = benchmark.pedantic(
+        vp_sample_curves, args=(base_run.transactions,),
+        kwargs={"repetitions": 10, "top_k": 500},
+        rounds=1, iterations=1)
+    available = vp_sample_curves(available_data_run.transactions,
+                                 repetitions=5, top_k=500)
+    out = "%s\n\n\"Available data\" (more VPs, paper's red curve):\n%s" % (
+        render_figure4(curves), render_figure4(available))
+    save_result("fig4_representativeness", out)
+
+    # More vantage points see more nameservers at every sample size
+    # (the red curve sits above the blue one in Fig 4a)...
+    assert available[-1]["nameservers"] > curves[-1]["nameservers"]
+    # ...but barely more TLDs (Fig 4c: "does not bring us much more
+    # coverage").
+    assert available[-1]["tlds"] <= curves[-1]["tlds"] * 1.15
+
+    counts = [c["nameservers"] for c in curves]
+    assert counts[0] < counts[-1]              # more VPs see more
+    assert convergence_ratio(curves) > 0.6      # but it saturates
+    # Small samples already cover most of the top list (Fig 4b:
+    # "even a 5% sample is enough to see 95% of the list").
+    assert curves[0]["top_coverage"] > 0.6
+    assert curves[-1]["top_coverage"] == 1.0
+    # TLD curve converges well below the nameserver curve (Fig 4c).
+    assert curves[-1]["tlds"] <= base_run.scenario.n_tlds
+    assert curves[1]["tlds"] / max(curves[-1]["tlds"], 1) > \
+        curves[1]["nameservers"] / max(curves[-1]["nameservers"], 1)

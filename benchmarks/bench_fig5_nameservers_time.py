@@ -1,0 +1,36 @@
+"""Figure 5: nameservers seen as a function of monitoring time.
+
+Paper result: over 3 days the set of observed authoritative
+nameserver IPs keeps growing to 1.5 M, with diminishing returns; 48 %
+of observed /24 prefixes hold a single nameserver address (the
+unpopular tail is well spread over the address space).
+"""
+
+from benchmarks.conftest import save_result
+from repro.analysis.representativeness import (
+    nameservers_over_time,
+    render_figure5,
+    slash24_density,
+)
+
+
+def _fig5(transactions):
+    series = nameservers_over_time(transactions, step_seconds=60.0)
+    density = slash24_density(transactions)
+    return series, density
+
+
+def test_fig5_nameservers_over_time(benchmark, base_run):
+    series, density = benchmark.pedantic(
+        _fig5, args=(base_run.transactions,), rounds=2, iterations=1)
+    save_result("fig5_nameservers_time", render_figure5(series, density))
+
+    values = [v for _, v in series]
+    assert values == sorted(values)
+    # Diminishing returns: the last quarter adds less than the first.
+    quarter = max(1, len(values) // 4)
+    first_gain = values[quarter] - values[0]
+    last_gain = values[-1] - values[-quarter - 1]
+    assert last_gain < first_gain
+    # Single-address /24s dominate (paper: 48%).
+    assert density.get(1, 0) == max(density.values())

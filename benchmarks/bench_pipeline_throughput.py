@@ -1,0 +1,64 @@
+"""Platform throughput: transactions/second through the pipeline.
+
+The paper's deployment ingests a peak of 200 k transactions/second (in
+compiled code, across machines).  This bench measures what the pure-
+Python pipeline sustains for (a) the Top-k tracking core alone and
+(b) the full Observatory with all datasets -- the numbers that justify
+the scale map in DESIGN.md.
+"""
+
+import pytest
+
+from benchmarks.conftest import base_scenario, save_result
+from repro.observatory.pipeline import Observatory
+from repro.simulation.sie import SieChannel
+
+
+@pytest.fixture(scope="module")
+def transaction_batch():
+    scenario = base_scenario(duration=240.0, client_qps=150.0)
+    return list(SieChannel(scenario).run())
+
+
+def test_throughput_srvip_only(benchmark, transaction_batch):
+    def ingest():
+        obs = Observatory(datasets=[("srvip", 2000)], use_bloom_gate=False)
+        obs.consume(transaction_batch)
+        obs.finish()
+        return obs
+
+    obs = benchmark.pedantic(ingest, rounds=3, iterations=1)
+    rate = len(transaction_batch) / benchmark.stats["mean"]
+    save_result("throughput_srvip", "srvip-only pipeline: %d txn/s "
+                "(%d transactions)" % (rate, len(transaction_batch)))
+    assert obs.total_seen == len(transaction_batch)
+    assert rate > 3000  # sanity floor for pure Python
+
+
+def test_throughput_all_datasets(benchmark, transaction_batch):
+    def ingest():
+        obs = Observatory(
+            datasets=[("srvip", 2000), ("qname", 4000), ("esld", 2000),
+                      "qtype", "rcode", ("aafqdn", 2000)],
+            use_bloom_gate=False)
+        obs.consume(transaction_batch)
+        obs.finish()
+        return obs
+
+    benchmark.pedantic(ingest, rounds=2, iterations=1)
+    rate = len(transaction_batch) / benchmark.stats["mean"]
+    save_result("throughput_all", "all-datasets pipeline: %d txn/s "
+                "(%d transactions)" % (rate, len(transaction_batch)))
+    assert rate > 1000
+
+
+def test_throughput_simulation(benchmark):
+    def simulate():
+        scenario = base_scenario(duration=120.0, client_qps=150.0)
+        return len(list(SieChannel(scenario).run()))
+
+    count = benchmark.pedantic(simulate, rounds=2, iterations=1)
+    rate = count / benchmark.stats["mean"]
+    save_result("throughput_simulation",
+                "simulator: %d txn/s (%d transactions)" % (rate, count))
+    assert count > 1000

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists so that ``pip install -e .`` works on environments without the
+``wheel`` package (offline PEP 660 fallback via ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""DNS Observatory: stream analytics for passive DNS.
+
+A complete, self-contained reproduction of *DNS Observatory: The Big
+Picture of the DNS* (Foremski, Gasser, Moura -- IMC 2019):
+
+* :mod:`repro.observatory` -- the paper's core contribution: Top-k
+  tracking with Space-Saving, the Section 2.3 traffic feature set,
+  60-second windows, TSV time series and time aggregation;
+* :mod:`repro.sketches` -- the probabilistic data structures
+  (Space-Saving, Bloom filters, HyperLogLog, streaming histograms);
+* :mod:`repro.dnswire` -- DNS protocol substrate (wire format, EDNS0,
+  Public Suffix List);
+* :mod:`repro.netsim` -- IP-layer substrate (packets, hop inference,
+  AS attribution, Hilbert heatmaps, delay models);
+* :mod:`repro.simulation` -- the SIE substitute: a deterministic
+  synthetic Internet producing the resolver-to-authoritative
+  transaction stream the Observatory ingests;
+* :mod:`repro.analysis` -- the measurement study: every table and
+  figure of Sections 3-5;
+* :mod:`repro.cli` -- the ``dns-observatory`` command-line tool.
+
+Quick start::
+
+    from repro.observatory import Observatory
+    from repro.simulation import Scenario, SieChannel
+
+    channel = SieChannel(Scenario.tiny())
+    obs = Observatory(datasets=["srvip", "qname", "qtype"])
+    obs.consume(channel.run())
+    obs.finish()
+    for entry in obs.tracker("srvip").top(10):
+        print(entry.key, entry.hits)
+"""
+
+__version__ = "1.0.0"
+
+from repro.observatory import Observatory
+from repro.simulation import Scenario, SieChannel
+
+__all__ = ["Observatory", "Scenario", "SieChannel", "__version__"]

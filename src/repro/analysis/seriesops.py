@@ -1,0 +1,113 @@
+"""Window-series operations shared by the analysis modules.
+
+Observatory output is a sequence of per-window rows (in memory as
+:class:`~repro.observatory.window.WindowDump`, on disk as TSV
+time-series files).  The analyses typically need whole-run per-object
+statistics, so this module accumulates windows: counters are summed
+(total transactions), gauges are averaged weighted by the window's
+``hits`` (an object's median delay should count when it had traffic).
+"""
+
+from repro.observatory.features import COUNTER_COLUMNS
+
+_COUNTERS = frozenset(COUNTER_COLUMNS)
+
+#: Columns holding discrete *values* (TTLs): averaging them across
+#: windows is meaningless, so accumulation takes the hits-weighted
+#: mode instead.
+MODE_COLUMNS = frozenset(
+    ("ttl_top1", "ttl_top2", "ttl_top3", "nsttl_top1"))
+
+#: Columns accumulated with max across windows ("the deepest QNAME
+#: ever observed" -- the §3.6 qmin evidence is any-window evidence).
+MAX_COLUMNS = frozenset(("qdots_max",))
+
+
+class AccumulatedRow(dict):
+    """A per-object whole-run row; plain dict plus window bookkeeping."""
+
+    def __init__(self):
+        super().__init__()
+        self.windows = 0
+
+
+def accumulate_dumps(dumps):
+    """Fold per-window rows into per-key whole-run rows.
+
+    Parameters
+    ----------
+    dumps:
+        Iterable of objects with ``.rows`` (list of ``(key, row)``) --
+        WindowDumps or TimeSeriesData alike.
+
+    Returns ``{key: AccumulatedRow}`` where counters are summed and
+    gauges are hits-weighted means.
+    """
+    totals = {}
+    weights = {}
+    modes = {}
+    for dump in dumps:
+        for key, row in dump.rows:
+            acc = totals.get(key)
+            if acc is None:
+                acc = AccumulatedRow()
+                totals[key] = acc
+                weights[key] = {}
+                modes[key] = {}
+            acc.windows += 1
+            hits = row.get("hits", 0) or 0
+            for col, value in row.items():
+                if col in _COUNTERS:
+                    acc[col] = acc.get(col, 0) + value
+                elif col in MAX_COLUMNS:
+                    if value > acc.get(col, 0):
+                        acc[col] = value
+                elif col in MODE_COLUMNS:
+                    # 0 means "no TTL observed this window" (e.g. only
+                    # NoData responses): not a vote against real values.
+                    if value:
+                        votes = modes[key].setdefault(col, {})
+                        votes[value] = votes.get(value, 0.0) + max(hits, 1)
+                else:
+                    wsum = weights[key].get(col, 0.0)
+                    acc[col] = (acc.get(col, 0.0) * wsum + value * hits) / \
+                        (wsum + hits) if (wsum + hits) else 0.0
+                    weights[key][col] = wsum + hits
+    for key, per_col in modes.items():
+        for col, votes in per_col.items():
+            totals[key][col] = max(votes.items(), key=lambda kv: kv[1])[0]
+    return totals
+
+
+def ranked_keys(rows, by="hits", descending=True):
+    """Keys of *rows* ranked by column *by* (ties broken by key)."""
+    return [
+        key for key, _ in sorted(
+            rows.items(),
+            key=lambda kv: ((-kv[1].get(by, 0)) if descending
+                            else kv[1].get(by, 0), kv[0]),
+        )
+    ]
+
+
+def total_hits(rows):
+    """Sum of the hits column over all rows."""
+    return sum(row.get("hits", 0) for row in rows.values())
+
+
+def split_dumps_at(dumps, ts):
+    """Split a dump list into (before, after) by window start time."""
+    before = [d for d in dumps if d.start_ts < ts]
+    after = [d for d in dumps if d.start_ts >= ts]
+    return before, after
+
+
+def key_series(dumps, key, column="hits"):
+    """Time series of one key's column: list of (start_ts, value);
+    windows where the key is absent yield 0 for counters."""
+    series = []
+    for dump in dumps:
+        row = dump.row_map().get(key)
+        value = row.get(column, 0) if row is not None else 0
+        series.append((dump.start_ts, value))
+    return series

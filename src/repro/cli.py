@@ -1,0 +1,205 @@
+"""Command-line interface: ``dns-observatory`` / ``python -m repro``.
+
+Subcommands:
+
+* ``simulate`` -- run a scenario and dump the transaction stream as
+  one summary line per transaction (§2.1's text format), replayable
+  with ``replay``;
+* ``replay``   -- feed a transaction-line file through the Observatory
+  and write TSV time series to an output directory;
+* ``report``   -- run a scenario end-to-end and print the Big Picture
+  report (the paper's headline tables and figures);
+* ``aggregate`` -- roll minutely TSV files up the granularity chain
+  and apply retention.
+"""
+
+import argparse
+import sys
+
+from repro.observatory.pipeline import Observatory
+from repro.observatory.transaction import Transaction
+from repro.simulation.scenario import Scenario
+from repro.simulation.sie import SieChannel
+
+_PRESETS = {
+    "tiny": Scenario.tiny,
+    "small": Scenario.small,
+    "medium": Scenario.medium,
+}
+
+
+def _add_scenario_args(parser):
+    parser.add_argument("--preset", choices=sorted(_PRESETS),
+                        default="tiny", help="scenario size preset")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds (overrides preset)")
+    parser.add_argument("--qps", type=float, default=None,
+                        help="client queries/second (overrides preset)")
+
+
+def _build_scenario(args):
+    overrides = {"seed": args.seed}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if args.qps is not None:
+        overrides["client_qps"] = args.qps
+    return _PRESETS[args.preset](**overrides)
+
+
+def cmd_simulate(args):
+    scenario = _build_scenario(args)
+    channel = SieChannel(scenario)
+    out = open(args.output, "w") if args.output != "-" else sys.stdout
+    count = 0
+    try:
+        for txn in channel.run():
+            out.write(txn.to_line() + "\n")
+            count += 1
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print("simulated %d client queries -> %d transactions "
+          "(cache hit ratio %.1f%%)" % (
+              channel.client_queries, count,
+              100 * channel.cache_hit_ratio()), file=sys.stderr)
+    return 0
+
+
+def cmd_replay(args):
+    obs = Observatory(
+        datasets=[(name, args.k) for name in args.datasets],
+        output_dir=args.output_dir,
+        window_seconds=args.window,
+    )
+    with open(args.input) if args.input != "-" else sys.stdin as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                obs.ingest(Transaction.from_line(line))
+    obs.finish()
+    print("replayed %d transactions into %s" % (
+        obs.total_seen, args.output_dir))
+    for name, ratio in sorted(obs.capture_ratios().items()):
+        print("  %-8s capture %.1f%%" % (name, ratio * 100))
+    return 0
+
+
+def cmd_report(args):
+    from repro.analysis import export as csv_export
+    from repro.analysis.asattribution import render_table1, table1
+    from repro.analysis.delays import (
+        delay_cdf, hierarchy_shares, letter_stats, rank_vs_delay,
+        render_figure3)
+    from repro.analysis.distributions import figure2, render_figure2
+    from repro.analysis.happyeyeballs import figure9, render_figure9
+    from repro.analysis.qtypes import render_table2, table2
+
+    scenario = _build_scenario(args)
+    channel = SieChannel(scenario)
+    obs = Observatory(datasets=[
+        ("srvip", 2000), ("qname", 4000), ("esld", 2000), "qtype",
+    ])
+    obs.consume(channel.run())
+    obs.finish()
+
+    distributions = figure2(obs, datasets=("srvip", "qname", "esld"))
+    print(render_figure2(distributions))
+    topo = channel.dns.topology
+    rows, total, _ = table1(obs, topo.asdb, topo.asnames)
+    print(render_table1(rows, total))
+    print()
+    qrows, _ = table2(obs)
+    print(render_table2(qrows))
+    print()
+    root_ips = {ns.hostname.split(".")[0]: ns.ip
+                for ns in channel.dns.root.nameservers}
+    gtld_ips = {ns.hostname.split(".")[0]: ns.ip
+                for ns in channel.dns.root.tlds["com"].nameservers}
+    cdf = delay_cdf(obs)
+    groups = rank_vs_delay(obs)
+    root_stats = letter_stats(obs, root_ips)
+    gtld_stats = letter_stats(obs, gtld_ips)
+    print(render_figure3(
+        cdf, groups, root_stats, gtld_stats,
+        hierarchy_shares(obs, root_ips), hierarchy_shares(obs, gtld_ips)))
+
+    def negttl(fqdn):
+        zone = channel.dns.find_sld_zone(fqdn)
+        return zone.soa_negttl if zone else None
+
+    points = figure9(obs, negttl, top_n=200, horizon=scenario.duration)
+    print(render_figure9(points))
+
+    if args.csv_dir:
+        csv_export.export_figure2(distributions, args.csv_dir,
+                                  max_rank=2000)
+        csv_export.export_table1(rows, total, args.csv_dir)
+        csv_export.export_table2(qrows, args.csv_dir)
+        csv_export.export_figure3(cdf, groups, root_stats, gtld_stats,
+                                  args.csv_dir)
+        csv_export.export_figure9(points, args.csv_dir)
+        print("\nCSV data series written to %s" % args.csv_dir)
+    return 0
+
+
+def cmd_aggregate(args):
+    from repro.observatory.aggregate import TimeAggregator
+    from repro.observatory.tsv import list_series
+
+    aggregator = TimeAggregator(args.directory)
+    datasets = sorted({ds for _, ds, _, _ in list_series(args.directory)})
+    written = []
+    for dataset in datasets:
+        written.extend(aggregator.aggregate_directory(dataset))
+    print("aggregated %d dataset(s), wrote %d file(s)"
+          % (len(datasets), len(written)))
+    if args.retention_now is not None:
+        deleted = aggregator.apply_retention(args.retention_now)
+        print("retention deleted %d file(s)" % len(deleted))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="dns-observatory",
+        description="DNS Observatory: stream analytics for passive DNS "
+                    "(IMC 2019 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a scenario, dump transactions")
+    _add_scenario_args(p)
+    p.add_argument("-o", "--output", default="-",
+                   help="output file ('-' = stdout)")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("replay", help="replay transactions into TSVs")
+    p.add_argument("input", help="transaction-line file ('-' = stdin)")
+    p.add_argument("output_dir", help="directory for TSV time series")
+    p.add_argument("--datasets", nargs="+",
+                   default=["srvip", "qname", "esld", "qtype"])
+    p.add_argument("--k", type=int, default=2000, help="Top-k size")
+    p.add_argument("--window", type=float, default=60.0)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("report", help="simulate and print the Big Picture")
+    _add_scenario_args(p)
+    p.add_argument("--csv-dir", default=None,
+                   help="also export the figure data series as CSV")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("aggregate", help="roll up TSV files + retention")
+    p.add_argument("directory")
+    p.add_argument("--retention-now", type=float, default=None,
+                   help="apply retention as of this timestamp")
+    p.set_defaults(func=cmd_aggregate)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

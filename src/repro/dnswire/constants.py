@@ -1,0 +1,94 @@
+"""DNS protocol constants: record types, response codes, header flags.
+
+The registries cover every type the paper's feature extraction touches
+(Table 2 lists the top-10 QTYPEs; Section 2.3 additionally needs OPT
+and RRSIG for the EDNS0/DNSSEC features).
+"""
+
+from enum import IntEnum
+
+
+class QTYPE(IntEnum):
+    """DNS RR/query types (IANA registry subset)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    NAPTR = 35
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    OPT = 41
+    SPF = 99
+    CAA = 257
+    ANY = 255
+
+    @classmethod
+    def name_of(cls, value):
+        """Printable name for *value*; unknown types render as TYPE###."""
+        try:
+            return cls(value).name
+        except ValueError:
+            return "TYPE%d" % value
+
+
+class RCODE(IntEnum):
+    """DNS response codes (header RCODE field)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+    @classmethod
+    def name_of(cls, value):
+        try:
+            return cls(value).name
+        except ValueError:
+            return "RCODE%d" % value
+
+
+class OPCODE(IntEnum):
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class FLAGS:
+    """Header flag bit masks (RFC 1035 §4.1.1) for the 16-bit flags word."""
+
+    QR = 0x8000  #: response (vs query)
+    AA = 0x0400  #: authoritative answer
+    TC = 0x0200  #: truncated
+    RD = 0x0100  #: recursion desired
+    RA = 0x0080  #: recursion available
+    AD = 0x0020  #: authentic data (DNSSEC)
+    CD = 0x0010  #: checking disabled (DNSSEC)
+
+    OPCODE_SHIFT = 11
+    OPCODE_MASK = 0x7800
+    RCODE_MASK = 0x000F
+
+
+#: DNS class IN -- the Observatory only processes Internet-class traffic.
+CLASS_IN = 1
+
+#: EDNS0 "DNSSEC OK" flag, carried in the high bit of the OPT TTL field.
+EDNS_DO = 0x8000
+
+#: Default maximum UDP payload advertised in OPT records.
+EDNS_DEFAULT_PAYLOAD = 1232
+
+#: Conventional DNS port, for the packet-level codecs.
+DNS_PORT = 53

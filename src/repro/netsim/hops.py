@@ -1,0 +1,51 @@
+"""Hop-count inference from the observed IP TTL.
+
+Section 3.5 derives "the number of network hops between resolvers and
+nameservers ... from the IP initial TTL value", citing the hop-count
+filtering technique of Jin, Wang & Shin (CCS 2003): operating systems
+initialize the TTL to one of a few well-known values (32, 64, 128,
+255); a router decrements it once per hop, so the initial value can be
+recovered as the smallest ladder value >= the observed TTL, and the
+hop count is their difference.
+"""
+
+#: Well-known initial TTL values, ascending.
+INITIAL_TTL_LADDER = (32, 64, 128, 255)
+
+
+def infer_initial_ttl(observed_ttl):
+    """Return the inferred initial TTL for an observed on-wire TTL."""
+    if not 0 <= observed_ttl <= 255:
+        raise ValueError("TTL out of range: %r" % (observed_ttl,))
+    for rung in INITIAL_TTL_LADDER:
+        if observed_ttl <= rung:
+            return rung
+    return 255
+
+
+def infer_hops(observed_ttl):
+    """Return the inferred router hop count for an observed TTL.
+
+    A host one router away sends TTL 64 and we observe 63 -> 1 hop.
+    The inference under-counts when the true path exceeds the gap to
+    the next ladder rung (e.g. >32 hops from a TTL-64 sender), which
+    is rare on the real Internet and in our simulation.
+    """
+    return infer_initial_ttl(observed_ttl) - observed_ttl
+
+
+def ttl_after_path(initial_ttl, hops):
+    """Forward model: the TTL observed after *hops* routers.
+
+    Used by the simulator to emit packets whose TTLs are consistent
+    with the ground-truth path length, so the inference above can be
+    validated end to end.
+    """
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    remaining = initial_ttl - hops
+    if remaining <= 0:
+        raise ValueError(
+            "packet would be dropped: %d hops exceeds TTL %d" % (hops, initial_ttl)
+        )
+    return remaining

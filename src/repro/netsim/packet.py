@@ -1,0 +1,227 @@
+"""IPv4/IPv6 + UDP header codecs.
+
+The SIE sensors submit "raw packets, starting at the IP header"
+(Section 2.1); the Observatory's preprocessor parses the IP and UDP
+headers to recover addresses, ports, payload, and the IP TTL used for
+hop-count inference.  These codecs implement exactly that: enough of
+RFC 791 / RFC 8200 / RFC 768 to build and parse DNS-over-UDP packets,
+including a correct IPv4 header checksum.
+"""
+
+import ipaddress
+import struct
+
+from repro.netsim.addr import ipv4_from_int, ipv4_to_int
+
+PROTO_UDP = 17
+PROTO_TCP = 6
+IPV4_HEADER_LEN = 20
+IPV6_HEADER_LEN = 40
+UDP_HEADER_LEN = 8
+TCP_HEADER_LEN = 20
+
+
+class PacketError(ValueError):
+    """Raised for malformed or unsupported packets."""
+
+
+class UdpDatagram:
+    """Parsed view of an IP packet carrying DNS (UDP/53 or TCP/53).
+
+    For TCP segments the ``payload`` already has the RFC 1035 §4.2.2
+    two-byte length prefix stripped, so it is a bare DNS message in
+    both cases.  (The name is historical; ``transport`` tells which.)
+    """
+
+    __slots__ = ("src_ip", "dst_ip", "src_port", "dst_port", "ttl",
+                 "payload", "ip_version", "transport")
+
+    def __init__(self, src_ip, dst_ip, src_port, dst_port, ttl, payload,
+                 ip_version=4, transport="udp"):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        #: IPv4 TTL or IPv6 hop limit as observed on the wire
+        self.ttl = ttl
+        self.payload = payload
+        self.ip_version = ip_version
+        #: "udp" or "tcp"
+        self.transport = transport
+
+    def __repr__(self):
+        return "UdpDatagram(%s:%d -> %s:%d, %s, ttl=%d, %d bytes)" % (
+            self.src_ip, self.src_port, self.dst_ip, self.dst_port,
+            self.transport, self.ttl, len(self.payload),
+        )
+
+
+def ipv4_checksum(header):
+    """RFC 791 ones'-complement header checksum."""
+    if len(header) % 2:
+        header += b"\x00"
+    total = sum(struct.unpack(">%dH" % (len(header) // 2), header))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def build_udp_ipv4(src_ip, dst_ip, src_port, dst_port, payload, ttl=64):
+    """Build a complete IPv4/UDP packet carrying *payload*."""
+    udp_length = UDP_HEADER_LEN + len(payload)
+    total_length = IPV4_HEADER_LEN + udp_length
+    if total_length > 0xFFFF:
+        raise PacketError("payload too large for IPv4")
+    header = struct.pack(
+        ">BBHHHBBHII",
+        (4 << 4) | 5,          # version 4, IHL 5 words
+        0,                      # DSCP/ECN
+        total_length,
+        0,                      # identification
+        0,                      # flags/fragment offset
+        ttl,
+        PROTO_UDP,
+        0,                      # checksum placeholder
+        ipv4_to_int(src_ip),
+        ipv4_to_int(dst_ip),
+    )
+    checksum = ipv4_checksum(header)
+    header = header[:10] + struct.pack(">H", checksum) + header[12:]
+    # UDP checksum 0 is legal over IPv4 ("no checksum computed").
+    udp = struct.pack(">HHHH", src_port, dst_port, udp_length, 0)
+    return header + udp + payload
+
+
+def build_udp_ipv6(src_ip, dst_ip, src_port, dst_port, payload, hop_limit=64):
+    """Build a complete IPv6/UDP packet carrying *payload*.
+
+    The mandatory IPv6 UDP checksum is computed over the standard
+    pseudo-header.
+    """
+    udp_length = UDP_HEADER_LEN + len(payload)
+    src = ipaddress.IPv6Address(src_ip).packed
+    dst = ipaddress.IPv6Address(dst_ip).packed
+    header = struct.pack(
+        ">IHBB", 6 << 28, udp_length, PROTO_UDP, hop_limit
+    ) + src + dst
+    pseudo = src + dst + struct.pack(">IHBB", udp_length, 0, 0, PROTO_UDP)
+    udp_zero = struct.pack(">HHHH", src_port, dst_port, udp_length, 0)
+    checksum = ipv4_checksum(pseudo + udp_zero + payload)
+    if checksum == 0:
+        checksum = 0xFFFF
+    udp = struct.pack(">HHHH", src_port, dst_port, udp_length, checksum)
+    return header + udp + payload
+
+
+def build_dns_tcp_ipv4(src_ip, dst_ip, src_port, dst_port, dns_payload,
+                       ttl=64, seq=1):
+    """Build an IPv4/TCP segment carrying one DNS message.
+
+    DNS-over-TCP prefixes the message with a two-byte length
+    (RFC 1035 §4.2.2).  This builder emits a single PSH+ACK segment --
+    the common case for DNS responses that fit one MSS -- which is
+    what a passive sensor reassembling simple TCP/53 flows sees.
+
+    The paper treats TCP/53 as future work (<3 % of traffic); this
+    implements that extension.
+    """
+    if len(dns_payload) > 0xFFFF:
+        raise PacketError("DNS message too large for TCP framing")
+    framed = struct.pack(">H", len(dns_payload)) + dns_payload
+    total_length = IPV4_HEADER_LEN + TCP_HEADER_LEN + len(framed)
+    if total_length > 0xFFFF:
+        raise PacketError("segment too large for IPv4")
+    header = struct.pack(
+        ">BBHHHBBHII",
+        (4 << 4) | 5, 0, total_length, 0, 0, ttl, PROTO_TCP, 0,
+        ipv4_to_int(src_ip), ipv4_to_int(dst_ip),
+    )
+    checksum = ipv4_checksum(header)
+    header = header[:10] + struct.pack(">H", checksum) + header[12:]
+    tcp = struct.pack(
+        ">HHIIBBHHH",
+        src_port, dst_port, seq, 0,
+        (TCP_HEADER_LEN // 4) << 4,  # data offset, no options
+        0x18,                         # PSH | ACK
+        0xFFFF, 0, 0,                 # window, checksum (0), urgent
+    )
+    return header + tcp + framed
+
+
+def parse_ip_packet(packet):
+    """Parse an IPv4 or IPv6 packet into a :class:`UdpDatagram`.
+
+    UDP/53 and single-segment TCP/53 (with the RFC 1035 length
+    prefix) are supported.
+    """
+    if not packet:
+        raise PacketError("empty packet")
+    version = packet[0] >> 4
+    if version == 4:
+        return _parse_ipv4(packet)
+    if version == 6:
+        return _parse_ipv6(packet)
+    raise PacketError("unknown IP version %d" % version)
+
+
+def _parse_ipv4(packet):
+    if len(packet) < IPV4_HEADER_LEN:
+        raise PacketError("truncated IPv4 header")
+    ihl = (packet[0] & 0x0F) * 4
+    if ihl < IPV4_HEADER_LEN or len(packet) < ihl:
+        raise PacketError("bad IPv4 IHL")
+    total_length, = struct.unpack_from(">H", packet, 2)
+    ttl = packet[8]
+    proto = packet[9]
+    src = ipv4_from_int(struct.unpack_from(">I", packet, 12)[0])
+    dst = ipv4_from_int(struct.unpack_from(">I", packet, 16)[0])
+    if total_length > len(packet):
+        raise PacketError("IPv4 total length exceeds capture")
+    transport = packet[ihl:total_length]
+    if proto == PROTO_UDP:
+        return _parse_udp(transport, src, dst, ttl, 4)
+    if proto == PROTO_TCP:
+        return _parse_tcp(transport, src, dst, ttl, 4)
+    raise PacketError("unsupported protocol %d" % proto)
+
+
+def _parse_ipv6(packet):
+    if len(packet) < IPV6_HEADER_LEN:
+        raise PacketError("truncated IPv6 header")
+    payload_length, next_header, hop_limit = struct.unpack_from(">HBB", packet, 4)
+    src = str(ipaddress.IPv6Address(packet[8:24]))
+    dst = str(ipaddress.IPv6Address(packet[24:40]))
+    transport = packet[IPV6_HEADER_LEN:IPV6_HEADER_LEN + payload_length]
+    if next_header == PROTO_UDP:
+        return _parse_udp(transport, src, dst, hop_limit, 6)
+    if next_header == PROTO_TCP:
+        return _parse_tcp(transport, src, dst, hop_limit, 6)
+    raise PacketError("unsupported next header %d" % next_header)
+
+
+def _parse_tcp(tcp, src, dst, ttl, version):
+    if len(tcp) < TCP_HEADER_LEN:
+        raise PacketError("truncated TCP header")
+    src_port, dst_port = struct.unpack_from(">HH", tcp, 0)
+    data_offset = (tcp[12] >> 4) * 4
+    if data_offset < TCP_HEADER_LEN or data_offset > len(tcp):
+        raise PacketError("bad TCP data offset")
+    segment = tcp[data_offset:]
+    if len(segment) < 2:
+        raise PacketError("TCP segment without DNS length prefix")
+    (dns_length,) = struct.unpack_from(">H", segment, 0)
+    if 2 + dns_length > len(segment):
+        raise PacketError("truncated DNS-over-TCP message")
+    payload = segment[2:2 + dns_length]
+    return UdpDatagram(src, dst, src_port, dst_port, ttl, payload,
+                       version, transport="tcp")
+
+
+def _parse_udp(udp, src, dst, ttl, version):
+    if len(udp) < UDP_HEADER_LEN:
+        raise PacketError("truncated UDP header")
+    src_port, dst_port, udp_length, _ = struct.unpack_from(">HHHH", udp, 0)
+    if udp_length < UDP_HEADER_LEN or udp_length > len(udp):
+        raise PacketError("bad UDP length")
+    payload = udp[UDP_HEADER_LEN:udp_length]
+    return UdpDatagram(src, dst, src_port, dst_port, ttl, payload, version)

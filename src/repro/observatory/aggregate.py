@@ -1,0 +1,168 @@
+"""Time aggregation of TSV files with retention (Section 2.4).
+
+"A separate process aggregates minutely files into new, decaminutely
+files that represent 10-minute time windows.  These in turn get
+aggregated into hourly files, then into daily files ... In general, we
+aggregate time series of a particular feature using the arithmetic
+mean. ... If the object is missing in some of the files being
+aggregated, we use a value of 0 for counters.  For features that are
+not counters (e.g., cardinality estimates), we just skip the missing
+data point."
+"""
+
+import os
+
+from repro.observatory.features import COUNTER_COLUMNS
+from repro.observatory.tsv import (
+    GRANULARITIES,
+    GRANULARITY_CHAIN,
+    TimeSeriesData,
+    list_series,
+    read_tsv,
+    write_tsv,
+)
+
+_COUNTERS = frozenset(COUNTER_COLUMNS)
+
+
+def aggregate_series(series_list, dataset, granularity, start_ts,
+                     expected_points=None):
+    """Aggregate finer-grained :class:`TimeSeriesData` into one coarser
+    record, applying the paper's counter vs non-counter rules.
+
+    Parameters
+    ----------
+    series_list:
+        The finer files covering the coarser window (e.g. 10 minutely
+        files for one decaminutely file).  Missing files are allowed.
+    expected_points:
+        Number of finer windows the coarse window spans.  Counters are
+        averaged over this denominator (absent object -> 0); defaults
+        to ``len(series_list)``.
+    """
+    if expected_points is None:
+        expected_points = len(series_list)
+    if expected_points <= 0:
+        raise ValueError("expected_points must be positive")
+    keys = []
+    seen_keys = set()
+    columns = None
+    for series in series_list:
+        if columns is None:
+            columns = series.columns
+        for key, _ in series.rows:
+            if key not in seen_keys:
+                seen_keys.add(key)
+                keys.append(key)
+    sums = {key: {} for key in keys}
+    presence = {key: {} for key in keys}
+    for series in series_list:
+        rmap = series.row_map()
+        for key in keys:
+            row = rmap.get(key)
+            if row is None:
+                continue
+            key_sums = sums[key]
+            key_presence = presence[key]
+            for col, value in row.items():
+                key_sums[col] = key_sums.get(col, 0.0) + value
+                key_presence[col] = key_presence.get(col, 0) + 1
+    rows = []
+    for key in keys:
+        row = {}
+        for col in (columns or []):
+            total = sums[key].get(col, 0.0)
+            if col in _COUNTERS:
+                row[col] = total / expected_points
+            else:
+                count = presence[key].get(col, 0)
+                row[col] = total / count if count else 0.0
+        rows.append((key, row))
+    # Order by aggregated hits, heaviest first (rank order of the file).
+    rows.sort(key=lambda kv: -kv[1].get("hits", 0.0))
+    stats = {
+        "seen": sum(s.stats.get("seen", 0) for s in series_list),
+        "kept": sum(s.stats.get("kept", 0) for s in series_list),
+        "points": len(series_list),
+    }
+    return TimeSeriesData(dataset, granularity, start_ts,
+                          columns=columns, rows=rows, stats=stats)
+
+
+class TimeAggregator:
+    """Directory-level aggregation driver with retention policy.
+
+    :meth:`aggregate_directory` walks the granularity chain and writes
+    every complete coarser window that is not on disk yet;
+    :meth:`apply_retention` deletes fine-grained files past their
+    configured age, mirroring the paper's disk-usage policy.
+    """
+
+    #: default retention: how many seconds of each granularity to keep
+    DEFAULT_RETENTION = {
+        "minutely": 2 * 3600,
+        "decaminutely": 24 * 3600,
+        "hourly": 7 * 86400,
+        "daily": 90 * 86400,
+        "monthly": 2 * 365 * 86400,
+        "yearly": None,  # keep forever
+    }
+
+    def __init__(self, directory, retention=None):
+        self.directory = directory
+        self.retention = dict(self.DEFAULT_RETENTION)
+        if retention:
+            self.retention.update(retention)
+
+    def aggregate_directory(self, dataset):
+        """Aggregate *dataset* up the whole granularity chain.
+
+        Returns the list of file paths written.
+        """
+        written = []
+        for finer, coarser in zip(GRANULARITY_CHAIN, GRANULARITY_CHAIN[1:]):
+            written.extend(self._aggregate_step(dataset, finer, coarser))
+        return written
+
+    def _aggregate_step(self, dataset, finer, coarser):
+        finer_len = GRANULARITIES[finer]
+        coarser_len = GRANULARITIES[coarser]
+        points = coarser_len // finer_len
+        existing = {
+            start for _, _, _, start in
+            list_series(self.directory, dataset, coarser)
+        }
+        finer_files = list_series(self.directory, dataset, finer)
+        if not finer_files:
+            return []
+        by_window = {}
+        for path, _, _, start in finer_files:
+            window_start = (start // coarser_len) * coarser_len
+            by_window.setdefault(window_start, []).append((start, path))
+        latest_fine = max(start for _, _, _, start in finer_files)
+        written = []
+        for window_start, members in sorted(by_window.items()):
+            if window_start in existing:
+                continue
+            # Only aggregate complete windows: the coarse window must
+            # have fully elapsed relative to the newest fine file.
+            if window_start + coarser_len > latest_fine + finer_len:
+                continue
+            series = [read_tsv(path) for _, path in sorted(members)]
+            data = aggregate_series(series, dataset, coarser, window_start,
+                                    expected_points=points)
+            written.append(write_tsv(self.directory, data))
+        return written
+
+    def apply_retention(self, now_ts):
+        """Delete expired fine-grained files; returns deleted paths."""
+        deleted = []
+        for path, _, gran, start in list_series(self.directory):
+            max_age = self.retention.get(gran)
+            if max_age is None:
+                continue
+            window_end = start + GRANULARITIES[gran]
+            if now_ts - window_end > max_age:
+                os.remove(path)
+                deleted.append(path)
+        return deleted

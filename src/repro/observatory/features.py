@@ -1,0 +1,310 @@
+"""Per-object traffic features (the full Section 2.3 feature set).
+
+Every tracked Top-k object carries one :class:`FeatureSet`, updated on
+each transaction that maps to its key and reset at every 60-second
+window boundary.  The underlying structure per feature follows the
+paper: "either a simple counter (e.g., hits), an average (e.g.,
+qdots), a histogram (e.g., resp_delays), or a cardinality estimate
+(e.g., ip4s)".
+"""
+
+from repro.dnswire.constants import QTYPE
+from repro.dnswire.psl import default_psl
+from repro.netsim.addr import is_ipv6
+from repro.netsim.hops import infer_hops
+from repro.sketches._hashing import derive64, hash64
+from repro.sketches.histogram import LogHistogram, RunningMean
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.topvalues import TopValues
+
+#: Counter feature columns.  Aggregated over time with missing -> 0
+#: (Section 2.4: "If the object is missing in some of the files being
+#: aggregated, we use a value of 0 for counters").
+COUNTER_COLUMNS = (
+    "hits", "unans", "ok", "nxd", "rfs", "fail",
+    "ok_ans", "ok_ns", "ok_add", "ok_nil",
+    "ok6", "ok6nil", "ok_sec",
+)
+
+#: Non-counter (gauge) columns.  Aggregated with the mean of *present*
+#: data points (missing points are skipped, §2.4).
+GAUGE_COLUMNS = (
+    "srvips", "srcips", "sources",
+    "qnamesa", "qnames", "tlds", "eslds", "qtypes",
+    "qdots", "qdots_max", "lvl", "nslvl",
+    "ip4s", "ip6s",
+    "ttl_top1", "ttl_top2", "ttl_top3", "ttl_top1_share",
+    "nsttl_top1", "nsttl_top1_share",
+    "delay_q25", "delay_q50", "delay_q75",
+    "hops_q25", "hops_q50", "hops_q75",
+    "size_q25", "size_q50", "size_q75",
+)
+
+#: All feature columns, in canonical TSV order.
+ALL_COLUMNS = COUNTER_COLUMNS + GAUGE_COLUMNS
+
+_MAX_SOURCES = 1024  # contributor count is small; cap defensively
+
+
+class TxnHashes:
+    """Per-transaction base hashes, shared across all trackers.
+
+    The Observatory runs several trackers per transaction and each
+    tracker's :class:`FeatureSet` needs hashes of the same strings
+    (server IP, resolver IP, QNAME, ...).  Computing each base hash
+    once per *transaction* instead of once per *tracker* removes the
+    dominant blake2b cost from the ingest hot path; the per-feature
+    independence comes from :func:`~repro.sketches._hashing.derive64`.
+
+    Fields are computed lazily -- a filtered-out transaction pays for
+    nothing.
+    """
+
+    __slots__ = ("txn", "_server", "_resolver", "_qname", "_qdots")
+
+    def __init__(self, txn):
+        self.txn = txn
+        self._server = None
+        self._resolver = None
+        self._qname = None
+        self._qdots = None
+
+    @property
+    def server(self):
+        if self._server is None:
+            self._server = hash64(self.txn.server_ip)
+        return self._server
+
+    @property
+    def resolver(self):
+        if self._resolver is None:
+            self._resolver = hash64(self.txn.resolver_ip)
+        return self._resolver
+
+    @property
+    def qname(self):
+        if self._qname is None:
+            self._qname = hash64(self.txn.qname)
+        return self._qname
+
+    @property
+    def qdots(self):
+        if self._qdots is None:
+            self._qdots = self.txn.qdots
+        return self._qdots
+
+
+class FeatureSet:
+    """Traffic statistics of one Top-k DNS object.
+
+    Parameters
+    ----------
+    hll_precision:
+        Register exponent for the HyperLogLog cardinality features.
+        The default (8, ~6.5 % error) keeps per-object memory near
+        2 KiB; raise for tighter qname counts.
+    psl:
+        Public Suffix List used for the tlds/eslds features; defaults
+        to the builtin snapshot.
+    """
+
+    __slots__ = (
+        "hits", "unans", "ok", "nxd", "rfs", "fail",
+        "ok_ans", "ok_ns", "ok_add", "ok_nil", "ok6", "ok6nil", "ok_sec",
+        "srvips", "srcips", "_sources",
+        "qnamesa", "qnames", "tlds", "eslds", "_qtypes",
+        "qdots", "qdots_max", "lvl", "nslvl", "ip4s", "ip6s",
+        "ttl", "nsttl", "resp_delays", "network_hops", "resp_size",
+        "_psl", "_hll_precision",
+    )
+
+    def __init__(self, hll_precision=8, psl=None):
+        self._psl = psl if psl is not None else default_psl()
+        self._hll_precision = hll_precision
+        # counters
+        self.hits = 0          #: total transactions
+        self.unans = 0         #: unanswered queries
+        self.ok = 0            #: NoError responses
+        self.nxd = 0           #: NXDOMAIN responses
+        self.rfs = 0           #: Refused responses
+        self.fail = 0          #: ServFail responses
+        self.ok_ans = 0        #: NoError with non-empty ANSWER
+        self.ok_ns = 0         #: NoError with NS records in AUTHORITY
+        self.ok_add = 0        #: NoError with non-empty ADDITIONAL (no OPT)
+        self.ok_nil = 0        #: NoError with neither (NoData)
+        self.ok6 = 0           #: AAAA queries answered NoError
+        self.ok6nil = 0        #: AAAA queries answered NoData
+        self.ok_sec = 0        #: DNSSEC-signed responses (DO + RRSIG)
+        # cardinality estimates
+        self.srvips = HyperLogLog(hll_precision, seed=1)
+        self.srcips = HyperLogLog(hll_precision, seed=2)
+        self._sources = set()
+        self.qnamesa = HyperLogLog(hll_precision, seed=3)
+        self.qnames = HyperLogLog(hll_precision, seed=4)
+        self.tlds = HyperLogLog(hll_precision, seed=5)
+        self.eslds = HyperLogLog(hll_precision, seed=6)
+        self._qtypes = set()
+        self.ip4s = HyperLogLog(hll_precision, seed=7)
+        self.ip6s = HyperLogLog(hll_precision, seed=8)
+        # averages
+        self.qdots = RunningMean()
+        #: deepest QNAME seen -- the per-pair qmin evidence of §3.6
+        #: (one full-depth query conclusively marks a non-qmin pair)
+        self.qdots_max = 0
+        self.lvl = RunningMean()
+        self.nslvl = RunningMean()
+        # top values
+        self.ttl = TopValues()
+        self.nsttl = TopValues()
+        # histograms
+        self.resp_delays = LogHistogram(min_value=0.05)
+        self.network_hops = LogHistogram(min_value=0.5)
+        self.resp_size = LogHistogram(min_value=1.0)
+
+    # ------------------------------------------------------------------
+
+    def update(self, txn, hashes=None):
+        """Fold one :class:`Transaction` into the statistics.
+
+        *hashes* is an optional shared :class:`TxnHashes` -- when the
+        Observatory runs several trackers, each transaction's base
+        hashes are computed once and derived per feature.
+        """
+        if hashes is None:
+            hashes = TxnHashes(txn)
+        self.hits += 1
+        self.srvips.add_hash(derive64(hashes.server, 1))
+        self.srcips.add_hash(derive64(hashes.resolver, 2))
+        if len(self._sources) < _MAX_SOURCES:
+            self._sources.add(txn.source)
+        self.qnamesa.add_hash(derive64(hashes.qname, 3))
+        if len(self._qtypes) < 256:
+            self._qtypes.add(txn.qtype)
+        qdots = hashes.qdots
+        self.qdots.add(qdots)
+        if qdots > self.qdots_max:
+            self.qdots_max = qdots
+
+        if not txn.answered:
+            self.unans += 1
+            return
+
+        if txn.noerror:
+            self.ok += 1
+            self.qnames.add_hash(derive64(hashes.qname, 4))
+            psl_tld = self._psl.effective_tld(txn.qname)
+            if psl_tld:
+                self.tlds.add(psl_tld)
+            esld = self._psl.effective_sld(txn.qname)
+            if esld:
+                self.eslds.add(esld)
+            if txn.answer_count > 0:
+                self.ok_ans += 1
+            if txn.authority_ns_count > 0:
+                self.ok_ns += 1
+            if txn.additional_count > 0:
+                self.ok_add += 1
+            if txn.nodata:
+                self.ok_nil += 1
+            if txn.qtype == QTYPE.AAAA:
+                self.ok6 += 1
+                if txn.nodata:
+                    self.ok6nil += 1
+            if txn.edns_do and txn.has_rrsig and \
+                    (txn.answer_count > 0 or txn.authority_ns_count > 0):
+                self.ok_sec += 1
+            if txn.qtype in (QTYPE.A, QTYPE.AAAA, QTYPE.ANY):
+                for address in txn.answer_ips:
+                    if is_ipv6(address):
+                        self.ip6s.add(address)
+                    else:
+                        self.ip4s.add(address)
+        elif txn.nxdomain:
+            self.nxd += 1
+        elif txn.refused:
+            self.rfs += 1
+        elif txn.servfail:
+            self.fail += 1
+
+        self.lvl.add(txn.answer_count)
+        self.nslvl.add(txn.authority_ns_count)
+        for ttl in txn.answer_ttls:
+            self.ttl.add(ttl)
+        for ttl in txn.ns_ttls:
+            self.nsttl.add(ttl)
+        self.resp_delays.add(txn.delay_ms)
+        self.network_hops.add(infer_hops(txn.observed_ttl))
+        self.resp_size.add(txn.response_size)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def sources(self):
+        """Number of distinct SIE contributors that saw this object."""
+        return len(self._sources)
+
+    @property
+    def qtypes(self):
+        """Number of distinct QTYPEs in all queries."""
+        return len(self._qtypes)
+
+    def as_row(self):
+        """Flatten into ``{column: numeric value}`` for the TSV writer."""
+        row = {
+            "hits": self.hits, "unans": self.unans, "ok": self.ok,
+            "nxd": self.nxd, "rfs": self.rfs, "fail": self.fail,
+            "ok_ans": self.ok_ans, "ok_ns": self.ok_ns,
+            "ok_add": self.ok_add, "ok_nil": self.ok_nil,
+            "ok6": self.ok6, "ok6nil": self.ok6nil, "ok_sec": self.ok_sec,
+            "srvips": round(self.srvips.cardinality(), 1),
+            "srcips": round(self.srcips.cardinality(), 1),
+            "sources": self.sources,
+            "qnamesa": round(self.qnamesa.cardinality(), 1),
+            "qnames": round(self.qnames.cardinality(), 1),
+            "tlds": round(self.tlds.cardinality(), 1),
+            "eslds": round(self.eslds.cardinality(), 1),
+            "qtypes": self.qtypes,
+            "qdots": round(self.qdots.mean, 3),
+            "qdots_max": self.qdots_max,
+            "lvl": round(self.lvl.mean, 3),
+            "nslvl": round(self.nslvl.mean, 3),
+            "ip4s": round(self.ip4s.cardinality(), 1),
+            "ip6s": round(self.ip6s.cardinality(), 1),
+        }
+        ttl_top = self.ttl.top(3)
+        ttl_dist = self.ttl.distribution()
+        for i in range(3):
+            row["ttl_top%d" % (i + 1)] = ttl_top[i][0] if i < len(ttl_top) else 0
+        row["ttl_top1_share"] = round(
+            ttl_dist.get(ttl_top[0][0], 0.0), 4) if ttl_top else 0.0
+        nsttl_top = self.nsttl.top(1)
+        nsttl_dist = self.nsttl.distribution()
+        row["nsttl_top1"] = nsttl_top[0][0] if nsttl_top else 0
+        row["nsttl_top1_share"] = round(
+            nsttl_dist.get(nsttl_top[0][0], 0.0), 4) if nsttl_top else 0.0
+        for prefix, hist in (("delay", self.resp_delays),
+                             ("hops", self.network_hops),
+                             ("size", self.resp_size)):
+            q25, q50, q75 = hist.quartiles()
+            row["%s_q25" % prefix] = round(q25, 3)
+            row["%s_q50" % prefix] = round(q50, 3)
+            row["%s_q75" % prefix] = round(q75, 3)
+        return row
+
+    def clear(self):
+        """Reset all statistics (window boundary, §2.4) in place."""
+        for name in COUNTER_COLUMNS:
+            setattr(self, name, 0)
+        for sketch in (self.srvips, self.srcips, self.qnamesa, self.qnames,
+                       self.tlds, self.eslds, self.ip4s, self.ip6s):
+            sketch.clear()
+        self._sources.clear()
+        self._qtypes.clear()
+        for mean in (self.qdots, self.lvl, self.nslvl):
+            mean.clear()
+        self.qdots_max = 0
+        self.ttl.clear()
+        self.nsttl.clear()
+        self.resp_delays.clear()
+        self.network_hops.clear()
+        self.resp_size.clear()

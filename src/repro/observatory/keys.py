@@ -1,0 +1,150 @@
+"""Dataset key definitions (the Section 3.1 collected datasets).
+
+"A DNS object is any entity within the DNS, identified with a textual
+key: the value of any transaction detail, or a combination thereof."
+(Section 2.2.)  Each :class:`DatasetSpec` names a dataset, gives its
+key extractor (transaction -> key string, or None to skip the
+transaction), an optional pre-filter, and the default Top-k size.
+
+The registry :data:`DATASETS` mirrors the paper's list:
+
+* ``srvip``  -- Top nameserver IPs (the primary objects);
+* ``etld``   -- Top effective TLDs, *including* NXDOMAIN traffic;
+* ``esld``   -- Top effective SLDs;
+* ``qname``  -- Top FQDNs;
+* ``qtype``  -- all QTYPE aggregations;
+* ``rcode``  -- all RCODE aggregations;
+* ``aafqdn`` -- Top FQDNs in authoritative answers (AA flag set, used
+  for the TTL-change detection of Section 4.2);
+* ``srcsrv`` -- Top (resolver, nameserver) pairs (used for the QNAME
+  minimization study of Section 3.6).
+
+Paper-scale k values (100K/10K/...) are scaled down by default; every
+spec's ``k`` can be overridden when instantiating the Observatory.
+"""
+
+from repro.dnswire.constants import RCODE
+from repro.dnswire.psl import default_psl
+
+
+class DatasetSpec:
+    """Specification of one Top-k aggregation dataset."""
+
+    def __init__(self, name, key_fn, k, description="", filter_fn=None):
+        #: dataset identifier (also the TSV file prefix)
+        self.name = name
+        #: transaction -> key string (None skips the transaction)
+        self.key_fn = key_fn
+        #: default Top-k cache size
+        self.k = int(k)
+        #: human-readable description
+        self.description = description
+        #: optional pre-filter, transaction -> bool
+        self.filter_fn = filter_fn
+
+    def extract(self, txn):
+        """Return the key for *txn*, or None when filtered out."""
+        if self.filter_fn is not None and not self.filter_fn(txn):
+            return None
+        return self.key_fn(txn)
+
+    def __repr__(self):
+        return "DatasetSpec(%r, k=%d)" % (self.name, self.k)
+
+
+# -- key extractors ----------------------------------------------------
+
+def key_srvip(txn):
+    """Authoritative nameserver IP address."""
+    return txn.server_ip
+
+
+def key_qname(txn):
+    """Full QNAME."""
+    return txn.qname or "."
+
+
+def key_etld(txn, _psl=None):
+    """Effective TLD of the QNAME (NXDOMAIN traffic included)."""
+    psl = _psl if _psl is not None else default_psl()
+    return psl.effective_tld(txn.qname)
+
+
+def key_esld(txn, _psl=None):
+    """Effective SLD of the QNAME; falls back to the eTLD for names
+    that are themselves public suffixes (so the traffic is not lost)."""
+    psl = _psl if _psl is not None else default_psl()
+    esld = psl.effective_sld(txn.qname)
+    return esld if esld is not None else psl.effective_tld(txn.qname)
+
+
+def key_qtype(txn):
+    """QTYPE mnemonic (A, AAAA, PTR, ...)."""
+    return txn.qtype_name()
+
+
+def key_rcode(txn):
+    """RCODE mnemonic, or UNANSWERED."""
+    if not txn.answered:
+        return "UNANSWERED"
+    return RCODE.name_of(txn.rcode)
+
+
+def key_aafqdn(txn):
+    """QNAME + QTYPE of authoritative answers (AA set, NoError with
+    data or delegation) -- the Section 4.2 aafqdn dataset.
+
+    The qtype is part of the key so that each object's TTL
+    distribution is homogeneous ("we analyze the TTL distribution of
+    its A and NS records", §4.2): mixing the A and MX TTLs of one name
+    in one top-TTL feature would fabricate TTL 'changes' whenever the
+    traffic mix shifts.
+    """
+    return "%s|%s" % (txn.qname or ".", txn.qtype_name())
+
+
+def filter_aafqdn(txn):
+    return txn.aa and txn.noerror and (
+        txn.answer_count > 0 or txn.authority_ns_count > 0
+    )
+
+
+def key_srcsrv(txn):
+    """Combined resolver|nameserver pair key."""
+    return "%s|%s" % (txn.resolver_ip, txn.server_ip)
+
+
+#: The §3.1 dataset registry.  k values follow DESIGN.md's scale map.
+DATASETS = {
+    "srvip": DatasetSpec(
+        "srvip", key_srvip, k=2000,
+        description="Top authoritative nameserver IPs"),
+    "etld": DatasetSpec(
+        "etld", key_etld, k=500,
+        description="Top effective TLDs (incl. NXDOMAIN)"),
+    "esld": DatasetSpec(
+        "esld", key_esld, k=3000,
+        description="Top effective SLDs"),
+    "qname": DatasetSpec(
+        "qname", key_qname, k=5000,
+        description="Top FQDNs"),
+    "qtype": DatasetSpec(
+        "qtype", key_qtype, k=64,
+        description="All QTYPE aggregations"),
+    "rcode": DatasetSpec(
+        "rcode", key_rcode, k=16,
+        description="All RCODE aggregations"),
+    "aafqdn": DatasetSpec(
+        "aafqdn", key_aafqdn, k=2000, filter_fn=filter_aafqdn,
+        description="Top FQDNs in authoritative answers"),
+    "srcsrv": DatasetSpec(
+        "srcsrv", key_srcsrv, k=3000,
+        description="Top resolver-nameserver pairs"),
+}
+
+
+def make_dataset(name, k=None):
+    """Return a copy of the registered spec, optionally resized."""
+    base = DATASETS[name]
+    return DatasetSpec(base.name, base.key_fn, k if k is not None else base.k,
+                       base.description, base.filter_fn)

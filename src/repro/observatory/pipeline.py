@@ -1,0 +1,144 @@
+"""The Observatory facade: end-to-end Figure 1 pipeline.
+
+Wires preprocessing, Top-k tracking, windowing, TSV output and time
+aggregation into a single object:
+
+>>> from repro.observatory import Observatory
+>>> obs = Observatory(datasets=["srvip", "qname"])
+>>> for txn in transactions:          # doctest: +SKIP
+...     obs.ingest(txn)
+>>> obs.finish()                      # doctest: +SKIP
+>>> top = obs.tracker("srvip").top(10)
+
+Transactions can be supplied as :class:`Transaction` objects (the
+simulator's fast path) or as raw packets via :meth:`ingest_packets`
+(the full parsing path used in integration tests).
+"""
+
+import logging
+
+from repro.observatory.keys import DATASETS, DatasetSpec, make_dataset
+from repro.observatory.preprocess import summarize_transaction
+from repro.observatory.tracker import TopKTracker
+from repro.observatory.tsv import write_tsv
+from repro.observatory.window import WindowManager
+
+logger = logging.getLogger(__name__)
+
+
+class Observatory:
+    """Stream analytics over passive DNS transactions.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names from :data:`~repro.observatory.keys.DATASETS`,
+        ``DatasetSpec`` instances, or ``(name, k)`` tuples to resize.
+    window_seconds:
+        Statistics window length (the paper dumps every 60 s).
+    output_dir:
+        When given, every completed window is written as a minutely
+        TSV file there (step E of Figure 1).
+    keep_dumps:
+        Keep completed :class:`WindowDump` objects in memory, grouped
+        per dataset -- the analysis modules consume these.
+    tau / use_bloom_gate / hll_precision / psl:
+        Tracker tuning knobs, see :class:`TopKTracker`.
+    """
+
+    def __init__(self, datasets=("srvip",), window_seconds=60.0,
+                 output_dir=None, keep_dumps=True, tau=300.0,
+                 use_bloom_gate=True, hll_precision=8, psl=None,
+                 skip_recent_inserts=True):
+        self._trackers = {}
+        for item in datasets:
+            spec = self._resolve(item)
+            if spec.name in self._trackers:
+                raise ValueError("duplicate dataset %r" % spec.name)
+            self._trackers[spec.name] = TopKTracker(
+                spec, tau=tau, use_bloom_gate=use_bloom_gate,
+                hll_precision=hll_precision, psl=psl,
+            )
+        self.output_dir = output_dir
+        self.keep_dumps = keep_dumps
+        self.dumps = {name: [] for name in self._trackers}
+        self.windows = WindowManager(
+            self._trackers.values(), window_seconds=window_seconds,
+            sink=self._sink, skip_recent_inserts=skip_recent_inserts,
+        )
+
+    @staticmethod
+    def _resolve(item):
+        if isinstance(item, DatasetSpec):
+            return item
+        if isinstance(item, tuple):
+            name, k = item
+            return make_dataset(name, k)
+        if isinstance(item, str):
+            if item not in DATASETS:
+                raise ValueError("unknown dataset %r" % (item,))
+            return make_dataset(item)
+        raise TypeError("cannot resolve dataset from %r" % (item,))
+
+    # ------------------------------------------------------------------
+
+    def ingest(self, txn):
+        """Process one summarized transaction."""
+        return self.windows.observe(txn)
+
+    def consume(self, transactions):
+        """Process an iterable of transactions; returns self."""
+        observe = self.windows.observe
+        for txn in transactions:
+            observe(txn)
+        return self
+
+    def ingest_packets(self, query_packet, response_packet, query_ts,
+                       response_ts=None, source="src0"):
+        """Full-path ingestion: parse raw packets, then process."""
+        txn = summarize_transaction(
+            query_packet, response_packet, query_ts, response_ts, source
+        )
+        self.ingest(txn)
+        return txn
+
+    def finish(self):
+        """Flush the trailing partial window."""
+        dumps = self.windows.flush()
+        logger.info(
+            "Observatory finished: %d transactions over %d windows; "
+            "capture ratios %s",
+            self.total_seen, self.windows.windows_completed,
+            {name: round(ratio, 3)
+             for name, ratio in self.capture_ratios().items()})
+        return dumps
+
+    # ------------------------------------------------------------------
+
+    def tracker(self, name):
+        """The :class:`TopKTracker` for dataset *name*."""
+        return self._trackers[name]
+
+    @property
+    def datasets(self):
+        return list(self._trackers)
+
+    @property
+    def total_seen(self):
+        """Transactions ingested so far."""
+        return self.windows.total_seen
+
+    def capture_ratios(self):
+        """Per-dataset capture ratios (the §3.1 coverage numbers)."""
+        return {
+            name: tracker.capture_ratio()
+            for name, tracker in self._trackers.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    def _sink(self, dump):
+        if self.keep_dumps:
+            self.dumps[dump.dataset].append(dump)
+        if self.output_dir is not None:
+            write_tsv(self.output_dir, dump.to_timeseries("minutely"))

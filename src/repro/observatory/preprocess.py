@@ -1,0 +1,133 @@
+"""Preprocessing: raw IP/UDP/DNS packets -> transaction summaries (§2.1).
+
+"Each transaction includes raw packets, starting at the IP header, and
+detailed timestamps. ... we read the stream, deserialize the data,
+parse IP headers and DNS payloads, and summarize each transaction with
+a line of text."
+
+:func:`summarize_transaction` is that parser: it takes the raw query
+packet, the raw response packet (or None for unanswered queries), and
+their capture timestamps, and produces a compact
+:class:`~repro.observatory.transaction.Transaction`.  Per Section 2.5,
+the detailed timestamps are collapsed into a response delay and all
+EDNS0 option payload (cookies, client-subnet) is dropped -- only the
+DO flag survives, as the ok_sec feature needs it.
+"""
+
+from repro.dnswire.constants import QTYPE
+from repro.dnswire.edns import dnssec_ok
+from repro.dnswire.message import Message
+from repro.netsim.packet import parse_ip_packet
+
+
+class PreprocessError(ValueError):
+    """Raised when a raw transaction cannot be summarized."""
+
+
+def summarize_transaction(query_packet, response_packet, query_ts,
+                          response_ts=None, source="src0"):
+    """Parse raw packets into a :class:`Transaction`.
+
+    Parameters
+    ----------
+    query_packet:
+        Raw bytes of the resolver's query, starting at the IP header.
+    response_packet:
+        Raw bytes of the nameserver's response, or None when the query
+        went unanswered (the *unans* feature).
+    query_ts / response_ts:
+        Capture timestamps in seconds.  Only their difference (the
+        response delay) is retained.
+    source:
+        Identifier of the contributing sensor (SIE channel member).
+    """
+    from repro.observatory.transaction import Transaction
+
+    query_dg = parse_ip_packet(query_packet)
+    try:
+        query_msg = Message.from_wire(query_dg.payload)
+    except ValueError as exc:
+        raise PreprocessError("bad DNS query payload: %s" % exc) from exc
+    if not query_msg.question:
+        raise PreprocessError("query without question section")
+    question = query_msg.question[0]
+
+    if response_packet is None:
+        return Transaction(
+            ts=query_ts,
+            resolver_ip=query_dg.src_ip,
+            server_ip=query_dg.dst_ip,
+            source=source,
+            qname=question.qname,
+            qtype=question.qtype,
+            rcode=None,
+            answered=False,
+            edns_do=dnssec_ok(query_msg),
+        )
+
+    response_dg = parse_ip_packet(response_packet)
+    try:
+        response_msg = Message.from_wire(response_dg.payload)
+    except ValueError as exc:
+        raise PreprocessError("bad DNS response payload: %s" % exc) from exc
+    if response_msg.msg_id != query_msg.msg_id:
+        raise PreprocessError(
+            "response id %d does not match query id %d"
+            % (response_msg.msg_id, query_msg.msg_id)
+        )
+
+    delay_ms = 0.0
+    if response_ts is not None:
+        delay_ms = max(0.0, (response_ts - query_ts) * 1000.0)
+
+    answer_ttls = []
+    answer_ips = []
+    cname_targets = []
+    ns_names = []
+    for rr in response_msg.answer:
+        if rr.rtype == QTYPE.RRSIG:
+            continue
+        answer_ttls.append(rr.ttl)
+        if rr.rtype in (QTYPE.A, QTYPE.AAAA):
+            answer_ips.append(rr.rdata.address)
+        elif rr.rtype == QTYPE.CNAME:
+            cname_targets.append(rr.rdata.target)
+        elif rr.rtype == QTYPE.NS:
+            ns_names.append(rr.rdata.target)
+    ns_ttls = []
+    for rr in response_msg.records("authority", QTYPE.NS):
+        ns_ttls.append(rr.ttl)
+        ns_names.append(rr.rdata.target)
+    answer_count = sum(
+        1 for rr in response_msg.answer if rr.rtype != QTYPE.RRSIG
+    )
+    additional_count = sum(
+        1 for rr in response_msg.additional
+        if rr.rtype not in (QTYPE.OPT, QTYPE.RRSIG)
+    )
+
+    return Transaction(
+        ts=query_ts,
+        resolver_ip=query_dg.src_ip,
+        server_ip=query_dg.dst_ip,
+        source=source,
+        qname=question.qname,
+        qtype=question.qtype,
+        rcode=response_msg.rcode,
+        answered=True,
+        aa=response_msg.authoritative,
+        tc=response_msg.truncated,
+        edns_do=dnssec_ok(query_msg) or dnssec_ok(response_msg),
+        has_rrsig=response_msg.has_rrsig(),
+        delay_ms=delay_ms,
+        observed_ttl=response_dg.ttl,
+        response_size=len(response_dg.payload),
+        answer_count=answer_count,
+        authority_ns_count=len(ns_ttls),
+        additional_count=additional_count,
+        answer_ttls=answer_ttls,
+        ns_ttls=ns_ttls,
+        answer_ips=answer_ips,
+        cname_targets=cname_targets,
+        ns_names=ns_names,
+    )

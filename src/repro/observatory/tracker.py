@@ -1,0 +1,92 @@
+"""Top-k tracker: Space-Saving cache + per-object feature statistics.
+
+One :class:`TopKTracker` implements steps C and D of the Figure 1
+pipeline for a single dataset: extract the key, run the Space-Saving
+update, and fold the transaction into the live entry's
+:class:`~repro.observatory.features.FeatureSet`.
+
+"Each transaction ends up either being aggregated in statistics of a
+particular DNS object from the SS cache, or being dropped in case the
+corresponding object is not in the cache." (Section 2.3.)
+"""
+
+from repro.observatory.features import FeatureSet
+from repro.sketches.bloom import RotatingBloomFilter
+from repro.sketches.spacesaving import SpaceSaving
+
+
+class TopKTracker:
+    """Track one dataset's Top-k objects and their traffic features.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.observatory.keys.DatasetSpec`.
+    tau:
+        Space-Saving rate decay constant (seconds).
+    use_bloom_gate:
+        Enable the Section 2.2 Bloom-filter eviction gate.
+    hll_precision / psl:
+        Passed through to each object's :class:`FeatureSet`.
+    """
+
+    def __init__(self, spec, tau=300.0, use_bloom_gate=True,
+                 hll_precision=8, psl=None, bloom_capacity=200_000,
+                 bloom_rotate_interval=600.0):
+        self.spec = spec
+        gate = None
+        if use_bloom_gate:
+            gate = RotatingBloomFilter(
+                capacity=bloom_capacity,
+                rotate_interval=bloom_rotate_interval,
+            )
+        self.cache = SpaceSaving(capacity=spec.k, tau=tau, gate=gate)
+        self._hll_precision = hll_precision
+        self._psl = psl
+        #: transactions skipped by the dataset pre-filter
+        self.filtered = 0
+        #: transactions processed (offered to the SS cache)
+        self.processed = 0
+
+    def observe(self, txn, hashes=None):
+        """Process one transaction; returns the live entry or None.
+
+        *hashes* is an optional shared
+        :class:`~repro.observatory.features.TxnHashes` (see there).
+        """
+        key = self.spec.extract(txn)
+        if key is None:
+            self.filtered += 1
+            return None
+        self.processed += 1
+        entry = self.cache.offer(key, txn.ts)
+        if entry is None:
+            return None
+        if entry.state is None:
+            entry.state = FeatureSet(self._hll_precision, self._psl)
+        entry.state.update(txn, hashes)
+        return entry
+
+    def top(self, n=None):
+        """Current top entries, heaviest first."""
+        return self.cache.top(n)
+
+    def reset_window_stats(self):
+        """Clear per-object features, keeping the Top-k list (§2.4:
+        'we keep the list of the most popular objects, but we clear
+        their internal state used for traffic features')."""
+        for entry in self.cache:
+            if entry.state is not None:
+                entry.state.clear()
+
+    def capture_ratio(self):
+        """Share of processed transactions landing on tracked objects."""
+        return self.cache.capture_ratio()
+
+    def __len__(self):
+        return len(self.cache)
+
+    def __repr__(self):
+        return "TopKTracker(%s, k=%d, tracked=%d)" % (
+            self.spec.name, self.spec.k, len(self.cache)
+        )

@@ -1,0 +1,178 @@
+"""TSV time-series file format (Section 2.4).
+
+"The data is stored on disk in the TSV file format, where the file
+name encodes both the time granularity, and the moment of time when we
+started collecting the data.  The first TSV row contains column names,
+and the last row contains data collection statistics, which include
+the total number of DNS transactions seen before and after filtering."
+"""
+
+import os
+
+from repro.observatory.features import ALL_COLUMNS
+
+#: granularity name -> window length in seconds (§2.4 aggregation chain)
+GRANULARITIES = {
+    "minutely": 60,
+    "decaminutely": 600,
+    "hourly": 3600,
+    "daily": 86400,
+    "monthly": 30 * 86400,
+    "yearly": 365 * 86400,
+}
+
+#: aggregation chain order, finest first
+GRANULARITY_CHAIN = (
+    "minutely", "decaminutely", "hourly", "daily", "monthly", "yearly"
+)
+
+_STATS_PREFIX = "#stats"
+
+
+def filename_for(dataset, granularity, start_ts):
+    """``srvip.minutely.0000086400.tsv`` -- name encodes granularity
+    and collection start time."""
+    if granularity not in GRANULARITIES:
+        raise ValueError("unknown granularity %r" % (granularity,))
+    return "%s.%s.%010d.tsv" % (dataset, granularity, int(start_ts))
+
+
+def parse_filename(filename):
+    """Inverse of :func:`filename_for`: returns (dataset, granularity,
+    start_ts) or raises ValueError."""
+    base = os.path.basename(filename)
+    stem, ext = os.path.splitext(base)
+    if ext != ".tsv":
+        raise ValueError("not a TSV file: %r" % (filename,))
+    parts = stem.split(".")
+    if len(parts) < 3 or parts[-2] not in GRANULARITIES:
+        raise ValueError("unparseable time-series filename: %r" % (filename,))
+    dataset = ".".join(parts[:-2])
+    return dataset, parts[-2], int(parts[-1])
+
+
+class TimeSeriesData:
+    """In-memory representation of one time-series file."""
+
+    def __init__(self, dataset, granularity, start_ts, columns=None,
+                 rows=None, stats=None):
+        self.dataset = dataset
+        self.granularity = granularity
+        self.start_ts = int(start_ts)
+        #: feature column names, in file order (without the key column)
+        self.columns = list(columns if columns is not None else ALL_COLUMNS)
+        #: list of (key, {column: value}) pairs, rank order preserved
+        self.rows = list(rows or [])
+        #: collection stats: transactions seen before/after filtering
+        self.stats = dict(stats or {"seen": 0, "kept": 0})
+
+    def row_map(self):
+        """Return ``{key: row_dict}`` (last occurrence wins)."""
+        return dict(self.rows)
+
+    def __len__(self):
+        return len(self.rows)
+
+
+def write_tsv(directory, data):
+    """Write *data* to ``directory`` using the canonical filename.
+
+    Returns the full file path.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(
+        directory, filename_for(data.dataset, data.granularity, data.start_ts)
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("key\t" + "\t".join(data.columns) + "\n")
+        for key, row in data.rows:
+            values = "\t".join(_format(row.get(col, 0)) for col in data.columns)
+            fh.write("%s\t%s\n" % (key, values))
+        stats = "\t".join(
+            "%s=%s" % (name, _format(value))
+            for name, value in sorted(data.stats.items())
+        )
+        fh.write("%s\t%s\n" % (_STATS_PREFIX, stats))
+    return path
+
+
+def read_tsv(path):
+    """Read a file written by :func:`write_tsv`."""
+    dataset, granularity, start_ts = parse_filename(path)
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise ValueError("empty time-series file: %r" % (path,))
+    header = lines[0].split("\t")
+    if header[0] != "key":
+        raise ValueError("missing key column in %r" % (path,))
+    columns = header[1:]
+    rows = []
+    stats = {}
+    for line in lines[1:]:
+        fields = line.split("\t")
+        if fields[0] == _STATS_PREFIX:
+            for pair in fields[1:]:
+                name, _, value = pair.partition("=")
+                stats[name] = _parse(value)
+            continue
+        key = fields[0]
+        row = {
+            col: _parse(value) for col, value in zip(columns, fields[1:])
+        }
+        rows.append((key, row))
+    return TimeSeriesData(dataset, granularity, start_ts, columns, rows, stats)
+
+
+def list_series(directory, dataset=None, granularity=None):
+    """List time-series files in *directory*, sorted by start time.
+
+    Returns (path, dataset, granularity, start_ts) tuples, optionally
+    filtered.
+    """
+    results = []
+    if not os.path.isdir(directory):
+        return results
+    for name in os.listdir(directory):
+        try:
+            ds, gran, start = parse_filename(name)
+        except ValueError:
+            continue
+        if dataset is not None and ds != dataset:
+            continue
+        if granularity is not None and gran != granularity:
+            continue
+        results.append((os.path.join(directory, name), ds, gran, start))
+    results.sort(key=lambda item: (item[1], item[3]))
+    return results
+
+
+def read_series(directory, dataset, granularity="minutely"):
+    """Load all of *dataset*'s files at *granularity*, time-ordered.
+
+    The returned :class:`TimeSeriesData` list plugs directly into the
+    analysis modules (they accept anything with ``rows`` and
+    ``start_ts``), so a full study can run from a directory of TSVs
+    produced by ``dns-observatory replay``.
+    """
+    return [read_tsv(path)
+            for path, _, _, _ in list_series(directory, dataset,
+                                             granularity)]
+
+
+def _format(value):
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return "%.4f" % value
+    return str(value)
+
+
+def _parse(text):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text

@@ -1,0 +1,139 @@
+"""60-second window management: dump-and-reset semantics (Section 2.4).
+
+"Every 60 seconds, we dump all data to disk and reset all statistics,
+but without affecting the SS cache. ... Because the popularity of
+objects may change at arbitrary points in time, we skip the data from
+objects recently inserted in the SS cache.  That is, if we included an
+object in the data dump, this means it survived the SS cache eviction
+for 60 seconds."
+"""
+
+from repro.observatory.features import TxnHashes
+from repro.observatory.tsv import TimeSeriesData
+
+
+class WindowDump:
+    """One dataset's dump for one completed window."""
+
+    __slots__ = ("dataset", "start_ts", "rows", "stats")
+
+    def __init__(self, dataset, start_ts, rows, stats):
+        self.dataset = dataset
+        #: window start (virtual seconds)
+        self.start_ts = start_ts
+        #: list of (key, feature_row_dict) in rank order
+        self.rows = rows
+        #: {"seen": transactions seen, "kept": after filtering/capture}
+        self.stats = stats
+
+    def row_map(self):
+        return dict(self.rows)
+
+    def to_timeseries(self, granularity="minutely"):
+        """Convert to :class:`TimeSeriesData` for the TSV writer."""
+        return TimeSeriesData(
+            self.dataset, granularity, self.start_ts,
+            rows=self.rows, stats=self.stats,
+        )
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class WindowManager:
+    """Drive a set of trackers through fixed time windows.
+
+    Transactions must arrive in non-decreasing timestamp order (the
+    SIE stream is time-ordered).  When a transaction crosses the
+    current window's end, every tracker is dumped and its per-object
+    statistics reset; the dumps are handed to *sink* (a callable
+    ``sink(window_dump)``) and also returned from :meth:`observe`.
+
+    Parameters
+    ----------
+    trackers:
+        Iterable of :class:`~repro.observatory.tracker.TopKTracker`.
+    window_seconds:
+        Window length; the paper uses 60 s.
+    skip_recent_inserts:
+        Enforce the survived-one-window rule.  Disabling it is the
+        ablation knob discussed in DESIGN.md.
+    """
+
+    def __init__(self, trackers, window_seconds=60.0, sink=None,
+                 skip_recent_inserts=True):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.trackers = list(trackers)
+        self.window_seconds = float(window_seconds)
+        self.sink = sink
+        self.skip_recent_inserts = skip_recent_inserts
+        self._window_start = None
+        self._seen_in_window = 0
+        self._kept_in_window = {t.spec.name: 0 for t in self.trackers}
+        #: total transactions observed over the manager's lifetime
+        self.total_seen = 0
+        #: completed windows
+        self.windows_completed = 0
+
+    @property
+    def window_start(self):
+        return self._window_start
+
+    def observe(self, txn):
+        """Feed one transaction.  Returns the list of WindowDumps
+        produced by any window boundary this transaction crossed
+        (usually empty)."""
+        dumps = []
+        if self._window_start is None:
+            self._window_start = self._align(txn.ts)
+        while txn.ts >= self._window_start + self.window_seconds:
+            dumps.extend(self._flush())
+        self.total_seen += 1
+        self._seen_in_window += 1
+        hashes = TxnHashes(txn)  # base hashes shared by all trackers
+        for tracker in self.trackers:
+            entry = tracker.observe(txn, hashes)
+            if entry is not None:
+                self._kept_in_window[tracker.spec.name] += 1
+        return dumps
+
+    def flush(self):
+        """Force a dump of the current (possibly partial) window.
+
+        Call at end of stream so the tail window is not lost.
+        """
+        if self._window_start is None:
+            return []
+        return self._flush()
+
+    # ------------------------------------------------------------------
+
+    def _align(self, ts):
+        return (int(ts) // int(self.window_seconds)) * int(self.window_seconds)
+
+    def _flush(self):
+        start = self._window_start
+        dumps = []
+        for tracker in self.trackers:
+            rows = []
+            for entry in tracker.top():
+                if entry.state is None or entry.state.hits == 0:
+                    continue
+                if self.skip_recent_inserts and entry.inserted_at > start:
+                    continue  # did not survive a full window yet
+                rows.append((entry.key, entry.state.as_row()))
+            stats = {
+                "seen": self._seen_in_window,
+                "kept": self._kept_in_window[tracker.spec.name],
+            }
+            dump = WindowDump(tracker.spec.name, start, rows, stats)
+            dumps.append(dump)
+            if self.sink is not None:
+                self.sink(dump)
+            tracker.reset_window_stats()
+            self._kept_in_window[tracker.spec.name] = 0
+        self._seen_in_window = 0
+        self._window_start = start + int(self.window_seconds)
+        self.windows_completed += 1
+        return dumps

@@ -1,0 +1,209 @@
+"""Scenario configuration: every knob of the simulated DNS.
+
+A :class:`Scenario` fully determines a simulation run (together with
+its seed).  Presets scale from :meth:`Scenario.tiny` (unit tests,
+<10 k transactions) through :meth:`Scenario.small` to
+:meth:`Scenario.medium` (benchmark harness).
+
+Scripted infrastructure events drive the Section 4 and 5 experiments:
+TTL changes (Figure 7/8), renumbering and NS changes (Table 4), and
+IPv6 activation (Section 5.3).
+"""
+
+
+class TtlChange:
+    """At time *at*, change the TTL of *name*'s records of *rtype*."""
+
+    def __init__(self, at, name, new_ttl, rtype="A"):
+        self.at = float(at)
+        self.name = name.lower().rstrip(".")
+        self.new_ttl = int(new_ttl)
+        self.rtype = rtype
+
+    def __repr__(self):
+        return "TtlChange(%.0fs, %s %s -> %d)" % (
+            self.at, self.name, self.rtype, self.new_ttl)
+
+
+class Renumber:
+    """At time *at*, change *fqdn*'s A records to *new_ips*
+    (optionally also its TTL -- the ns2.oh-isp.com case of Table 4)."""
+
+    def __init__(self, at, fqdn, new_ips, new_ttl=None):
+        self.at = float(at)
+        self.fqdn = fqdn.lower().rstrip(".")
+        self.new_ips = tuple(new_ips)
+        self.new_ttl = None if new_ttl is None else int(new_ttl)
+
+    def __repr__(self):
+        return "Renumber(%.0fs, %s)" % (self.at, self.fqdn)
+
+
+class NsChange:
+    """At time *at*, repoint *sld*'s delegation to new nameservers
+    (hostnames resolved within the simulation; Table 4 "Change NS")."""
+
+    def __init__(self, at, sld, new_ns_org, new_ttl=None):
+        self.at = float(at)
+        self.sld = sld.lower().rstrip(".")
+        #: organization that will host the new nameservers
+        self.new_ns_org = new_ns_org
+        self.new_ttl = None if new_ttl is None else int(new_ttl)
+
+    def __repr__(self):
+        return "NsChange(%.0fs, %s -> %s)" % (self.at, self.sld, self.new_ns_org)
+
+
+class EnableIpv6:
+    """At time *at*, publish AAAA records for *fqdn* (Section 5.3)."""
+
+    def __init__(self, at, fqdn):
+        self.at = float(at)
+        self.fqdn = fqdn.lower().rstrip(".")
+
+    def __repr__(self):
+        return "EnableIpv6(%.0fs, %s)" % (self.at, self.fqdn)
+
+
+class JunkSurge:
+    """From time *at* on, *qps* of junk queries hit *sld*: random
+    nonexistent subdomains (PRSD-style), all answered NXDOMAIN.
+
+    This reproduces the paper's Figure 8 "inconsistent" cases: query
+    volume grows although the TTL went *up*, because the growth is
+    query-only -- "resolvers are increasingly querying for
+    non-existent FQDNs" (§4.1).  Handled by the workload mix, not the
+    zone mutator.
+    """
+
+    def __init__(self, at, sld, qps):
+        self.at = float(at)
+        self.sld = sld.lower().rstrip(".")
+        self.qps = float(qps)
+
+    def __repr__(self):
+        return "JunkSurge(%.0fs, %s, %.1f qps)" % (self.at, self.sld,
+                                                   self.qps)
+
+
+class Scenario:
+    """All simulation parameters.  See :meth:`tiny` for a quick start.
+
+    The defaults aim at the qualitative shape of the paper's Big
+    Picture: Zipf-concentrated domain popularity, the Table 1
+    organization cast, the Table 2 QTYPE mix, four delay regimes, a
+    DGA botnet, Happy-Eyeballs dual-stack clients, and a handful of
+    IPv4-only domains with pathologically low negative-caching TTLs.
+    """
+
+    def __init__(self, seed=2019, duration=600.0, client_qps=200.0,
+                 n_resolvers=64, n_contributors=12, n_tlds=120,
+                 n_slds=2000, fqdns_per_sld=4, popular_fqdns=2000,
+                 sld_zipf_s=1.05, dualstack_fraction=0.35,
+                 qmin_resolver_fraction=0.02, unanswered_rate=0.02,
+                 botnet_share=0.10, tld_typo_share=0.01,
+                 workload_weights=None, resolver_cache_size=200_000,
+                 scripted_events=(), ipv6_sld_fraction=0.45,
+                 dnssec_sld_fraction=0.25, wire_check_fraction=0.0,
+                 low_negttl_specials=True, prefetch_resolver_fraction=0.0,
+                 resolver_ipv6_fraction=0.3, diurnal_amplitude=0.0,
+                 diurnal_period=86400.0):
+        #: master seed for all RNG substreams
+        self.seed = int(seed)
+        #: simulated duration in seconds
+        self.duration = float(duration)
+        #: client-level query events per second (upstream transactions
+        #: emerge from cache misses, typically 0.3-1.5x this rate)
+        self.client_qps = float(client_qps)
+        #: number of recursive resolvers (vantage points)
+        self.n_resolvers = int(n_resolvers)
+        #: number of SIE contributors the resolvers are grouped into
+        self.n_contributors = int(n_contributors)
+        #: active TLDs beyond com/net (ccTLDs and new gTLDs)
+        self.n_tlds = int(n_tlds)
+        #: registered SLD zones
+        self.n_slds = int(n_slds)
+        #: average FQDNs per SLD zone
+        self.fqdns_per_sld = int(fqdns_per_sld)
+        #: size of the popular-FQDN list clients browse
+        self.popular_fqdns = int(popular_fqdns)
+        #: Zipf exponent of SLD popularity
+        self.sld_zipf_s = float(sld_zipf_s)
+        #: fraction of clients doing Happy Eyeballs (A + AAAA)
+        self.dualstack_fraction = float(dualstack_fraction)
+        #: fraction of resolvers with QNAME minimization enabled
+        self.qmin_resolver_fraction = float(qmin_resolver_fraction)
+        #: probability a nameserver drops a query (unans feature)
+        self.unanswered_rate = float(unanswered_rate)
+        #: share of client events that are botnet DGA queries
+        self.botnet_share = float(botnet_share)
+        #: share of client events querying nonexistent TLDs (root NXD)
+        self.tld_typo_share = float(tld_typo_share)
+        #: QTYPE workload mixture weights (see workload.DEFAULT_WEIGHTS)
+        self.workload_weights = dict(workload_weights or {})
+        #: resolver cache entry limit
+        self.resolver_cache_size = int(resolver_cache_size)
+        #: scripted infrastructure events (TtlChange, Renumber, ...)
+        self.scripted_events = list(scripted_events)
+        #: fraction of SLDs with AAAA records (server-side IPv6)
+        self.ipv6_sld_fraction = float(ipv6_sld_fraction)
+        #: fraction of SLDs that are DNSSEC-signed
+        self.dnssec_sld_fraction = float(dnssec_sld_fraction)
+        #: fraction of transactions round-tripped through real wire
+        #: bytes (slow; integration tests set 1.0)
+        self.wire_check_fraction = float(wire_check_fraction)
+        #: install the Figure 9 cast (NTP/ad/CDN domains with low
+        #: negative-caching TTLs)
+        self.low_negttl_specials = bool(low_negttl_specials)
+        #: fraction of resolvers with query prefetching enabled (§5.1)
+        self.prefetch_resolver_fraction = float(prefetch_resolver_fraction)
+        #: fraction of resolvers that reach dual-stack nameservers
+        #: over IPv6 (the srvip dataset tracks v4 and v6 addresses)
+        self.resolver_ipv6_fraction = float(resolver_ipv6_fraction)
+        #: diurnal traffic modulation: client rates swing by this
+        #: fraction (0 = flat) over *diurnal_period* seconds -- the
+        #: "user interest and diurnal patterns" behind the hourly top
+        #: lists of §4.2 [55]
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        self.diurnal_period = float(diurnal_period)
+
+    # -- presets --------------------------------------------------------
+
+    @classmethod
+    def tiny(cls, **overrides):
+        """Unit-test scale: a few thousand transactions, seconds to run."""
+        params = dict(
+            duration=180.0, client_qps=40.0, n_resolvers=12,
+            n_contributors=4, n_tlds=30, n_slds=150, fqdns_per_sld=3,
+            popular_fqdns=200,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def small(cls, **overrides):
+        """Integration scale: ~50 k transactions."""
+        params = dict(
+            duration=420.0, client_qps=120.0, n_resolvers=32,
+            n_contributors=8, n_tlds=60, n_slds=600, fqdns_per_sld=3,
+            popular_fqdns=800,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def medium(cls, **overrides):
+        """Benchmark scale: a few hundred thousand transactions."""
+        params = dict(
+            duration=900.0, client_qps=300.0, n_resolvers=64,
+            n_contributors=12, n_tlds=120, n_slds=2500,
+            fqdns_per_sld=4, popular_fqdns=2500,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def __repr__(self):
+        return "Scenario(seed=%d, duration=%.0fs, qps=%.0f, slds=%d)" % (
+            self.seed, self.duration, self.client_qps, self.n_slds)

@@ -1,0 +1,42 @@
+"""Uniform reservoir sampling (Vitter's algorithm R).
+
+Not part of the paper's production pipeline, but used throughout the
+reproduction for validation: e.g. comparing LogHistogram quantiles and
+HyperLogLog cardinalities against exact values computed on a uniform
+sample, and for the representativeness experiments of Section 3.7
+(random subsets of vantage points).
+"""
+
+import random
+
+
+class ReservoirSample:
+    """Keep a uniform random sample of at most *size* items from a stream."""
+
+    def __init__(self, size, seed=0):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = int(size)
+        self._rng = random.Random(seed)
+        self._items = []
+        self.count = 0
+
+    def add(self, item):
+        """Offer *item* to the reservoir."""
+        self.count += 1
+        if len(self._items) < self.size:
+            self._items.append(item)
+            return
+        j = self._rng.randrange(self.count)
+        if j < self.size:
+            self._items[j] = item
+
+    def items(self):
+        """Return the current sample (list copy, insertion order)."""
+        return list(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)

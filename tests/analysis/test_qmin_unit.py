@@ -1,0 +1,89 @@
+"""Unit tests for the qmin detector (Table 3 logic in isolation)."""
+
+from repro.analysis.qmin import QminDetector, detect_qmin
+from tests.util import make_txn
+
+ROOT = "192.0.2.1"
+TLD = "192.0.2.2"
+TLD_WL = "192.0.2.3"  # whitelisted registry (hosts co.uk-style suffixes)
+OTHER = "192.0.2.9"
+
+
+def txn(resolver, server, qname):
+    return make_txn(resolver_ip=resolver, server_ip=server, qname=qname)
+
+
+def detector(transactions, whitelist=()):
+    return detect_qmin(transactions, {ROOT}, {TLD, TLD_WL}, whitelist)
+
+
+def test_one_label_to_root_is_possible_qmin():
+    det = detector([txn("r1", ROOT, "com")])
+    assert det.possible_qmin_resolvers_root() == ["r1"]
+    assert det.non_qmin_resolvers_root() == []
+
+
+def test_two_labels_to_root_is_non_qmin():
+    det = detector([txn("r1", ROOT, "example.com")])
+    assert det.non_qmin_resolvers_root() == ["r1"]
+
+
+def test_two_labels_to_tld_is_possible_qmin():
+    det = detector([txn("r1", TLD, "example.com")])
+    assert det.possible_qmin_resolvers_tld() == ["r1"]
+
+
+def test_three_labels_to_tld_is_non_qmin():
+    det = detector([txn("r1", TLD, "www.example.com")])
+    assert det.non_qmin_resolvers_tld() == ["r1"]
+
+
+def test_whitelist_allows_three_labels():
+    det = detector([txn("r1", TLD_WL, "bbc.co.uk")],
+                   whitelist={TLD_WL})
+    assert det.possible_qmin_resolvers_tld() == ["r1"]
+    # But four labels still convicts.
+    det = detector([txn("r1", TLD_WL, "www.bbc.co.uk")],
+                   whitelist={TLD_WL})
+    assert det.non_qmin_resolvers_tld() == ["r1"]
+
+
+def test_cross_check_removes_contradicted_candidates():
+    det = detector([
+        txn("r1", ROOT, "com"),              # looks qmin at root...
+        txn("r1", TLD, "www.example.com"),   # ...but leaks at TLD
+        txn("r2", ROOT, "org"),
+    ])
+    candidates = det.cross_check(det.possible_qmin_resolvers_root())
+    assert candidates == ["r2"]
+
+
+def test_other_servers_ignored():
+    det = detector([txn("r1", OTHER, "a.b.c.d.example.com")])
+    assert det.root_max_labels == {}
+    assert det.tld_max_labels == {}
+
+
+def test_traffic_shares():
+    det = detector([
+        txn("r1", ROOT, "com"),
+        txn("r2", ROOT, "www.example.com"),
+        txn("r2", ROOT, "www2.example.com"),
+        txn("r2", ROOT, "www3.example.com"),
+    ])
+    shares = det.qmin_traffic_shares()
+    assert shares["root"] == 0.25
+
+
+def test_empty_detector_shares_zero():
+    det = detector([])
+    shares = det.qmin_traffic_shares()
+    assert shares == {"root": 0.0, "tld": 0.0}
+
+
+def test_strictness_single_leak_convicts():
+    """The paper's 100% notion: one full-qname query is conclusive,
+    no matter how many minimized queries preceded it."""
+    events = [txn("r1", ROOT, "com")] * 99 + [txn("r1", ROOT, "a.com")]
+    det = detector(events)
+    assert det.non_qmin_resolvers_root() == ["r1"]

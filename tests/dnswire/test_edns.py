@@ -1,0 +1,55 @@
+"""Tests for EDNS0 OPT handling."""
+
+import pytest
+
+from repro.dnswire.constants import QTYPE
+from repro.dnswire.edns import dnssec_ok, edns_info, make_opt, parse_opt
+from repro.dnswire.message import Message, ResourceRecord
+from repro.dnswire.rdata import A
+
+
+def test_make_and_parse_opt():
+    opt = make_opt(payload_size=4096, dnssec_ok=True, version=0)
+    info = parse_opt(opt)
+    assert info.payload_size == 4096
+    assert info.dnssec_ok is True
+    assert info.version == 0
+    assert info.ext_rcode == 0
+
+
+def test_do_flag_off_by_default():
+    info = parse_opt(make_opt())
+    assert info.dnssec_ok is False
+    assert info.payload_size == 1232
+
+
+def test_ext_rcode_packing():
+    info = parse_opt(make_opt(ext_rcode=0x16))
+    assert info.ext_rcode == 0x16
+
+
+def test_parse_opt_none_passthrough():
+    assert parse_opt(None) is None
+
+
+def test_parse_opt_rejects_non_opt():
+    rr = ResourceRecord("example.com", QTYPE.A, 300, A("192.0.2.1"))
+    with pytest.raises(ValueError):
+        parse_opt(rr)
+
+
+def test_edns_info_from_message():
+    msg = Message.make_query("example.com", QTYPE.A)
+    assert edns_info(msg) is None
+    assert dnssec_ok(msg) is False
+    msg.additional.append(make_opt(dnssec_ok=True))
+    assert edns_info(msg).dnssec_ok
+    assert dnssec_ok(msg) is True
+
+
+def test_opt_name_is_root():
+    assert make_opt().name == ""
+
+
+def test_repr():
+    assert "payload=1232" in repr(parse_opt(make_opt()))

@@ -1,0 +1,59 @@
+"""Tests for initial-TTL hop inference."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.hops import (
+    INITIAL_TTL_LADDER,
+    infer_hops,
+    infer_initial_ttl,
+    ttl_after_path,
+)
+
+
+def test_ladder_values_map_to_themselves():
+    for rung in INITIAL_TTL_LADDER:
+        assert infer_initial_ttl(rung) == rung
+        assert infer_hops(rung) == 0
+
+
+def test_typical_inferences():
+    assert infer_initial_ttl(57) == 64
+    assert infer_hops(57) == 7
+    assert infer_initial_ttl(120) == 128
+    assert infer_hops(120) == 8
+    assert infer_initial_ttl(240) == 255
+    assert infer_hops(240) == 15
+    assert infer_initial_ttl(30) == 32
+    assert infer_hops(30) == 2
+
+
+def test_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        infer_initial_ttl(-1)
+    with pytest.raises(ValueError):
+        infer_initial_ttl(256)
+
+
+def test_forward_model():
+    assert ttl_after_path(64, 7) == 57
+    assert ttl_after_path(255, 0) == 255
+
+
+def test_forward_model_rejects_dead_packets():
+    with pytest.raises(ValueError):
+        ttl_after_path(64, 64)
+    with pytest.raises(ValueError):
+        ttl_after_path(64, -1)
+
+
+@given(
+    st.sampled_from(INITIAL_TTL_LADDER),
+    st.integers(min_value=0, max_value=25),
+)
+def test_inference_inverts_forward_model(initial, hops):
+    """For realistic hop counts the inference recovers ground truth."""
+    observed = ttl_after_path(initial, hops)
+    assert infer_initial_ttl(observed) == initial
+    assert infer_hops(observed) == hops

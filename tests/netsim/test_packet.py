@@ -1,0 +1,100 @@
+"""Tests for IPv4/IPv6 + UDP packet codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.packet import (
+    PacketError,
+    build_udp_ipv4,
+    build_udp_ipv6,
+    ipv4_checksum,
+    parse_ip_packet,
+)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        pkt = build_udp_ipv4("192.0.2.1", "198.51.100.2", 40000, 53,
+                             b"hello dns", ttl=57)
+        dg = parse_ip_packet(pkt)
+        assert dg.src_ip == "192.0.2.1"
+        assert dg.dst_ip == "198.51.100.2"
+        assert dg.src_port == 40000
+        assert dg.dst_port == 53
+        assert dg.ttl == 57
+        assert dg.payload == b"hello dns"
+        assert dg.ip_version == 4
+
+    def test_header_checksum_valid(self):
+        pkt = build_udp_ipv4("10.0.0.1", "10.0.0.2", 1, 2, b"x")
+        # Recomputing the checksum over the header must yield zero.
+        assert ipv4_checksum(pkt[:20]) == 0
+
+    def test_empty_payload(self):
+        pkt = build_udp_ipv4("10.0.0.1", "10.0.0.2", 1, 53, b"")
+        assert parse_ip_packet(pkt).payload == b""
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(PacketError):
+            build_udp_ipv4("10.0.0.1", "10.0.0.2", 1, 2, b"x" * 70000)
+
+    def test_rejects_truncated(self):
+        pkt = build_udp_ipv4("10.0.0.1", "10.0.0.2", 1, 2, b"payload")
+        with pytest.raises(PacketError):
+            parse_ip_packet(pkt[:15])
+
+    def test_rejects_non_udp(self):
+        pkt = bytearray(build_udp_ipv4("10.0.0.1", "10.0.0.2", 1, 2, b"x"))
+        pkt[9] = 6  # TCP
+        with pytest.raises(PacketError):
+            parse_ip_packet(bytes(pkt))
+
+    def test_rejects_empty(self):
+        with pytest.raises(PacketError):
+            parse_ip_packet(b"")
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(PacketError):
+            parse_ip_packet(bytes([0x50] * 20))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 0xFFFFFFFF),
+        st.integers(0, 0xFFFFFFFF),
+        st.integers(1, 0xFFFF),
+        st.integers(1, 0xFFFF),
+        st.integers(1, 255),
+        st.binary(max_size=512),
+    )
+    def test_roundtrip_property(self, src, dst, sport, dport, ttl, payload):
+        from repro.netsim.addr import ipv4_from_int
+
+        pkt = build_udp_ipv4(ipv4_from_int(src), ipv4_from_int(dst),
+                             sport, dport, payload, ttl=ttl)
+        dg = parse_ip_packet(pkt)
+        assert dg.payload == payload
+        assert dg.ttl == ttl
+        assert (dg.src_port, dg.dst_port) == (sport, dport)
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        pkt = build_udp_ipv6("2001:db8::1", "2001:db8::2", 40000, 53,
+                             b"dns over v6", hop_limit=61)
+        dg = parse_ip_packet(pkt)
+        assert dg.src_ip == "2001:db8::1"
+        assert dg.dst_ip == "2001:db8::2"
+        assert dg.ttl == 61
+        assert dg.payload == b"dns over v6"
+        assert dg.ip_version == 6
+
+    def test_rejects_truncated(self):
+        pkt = build_udp_ipv6("2001:db8::1", "2001:db8::2", 1, 2, b"x")
+        with pytest.raises(PacketError):
+            parse_ip_packet(pkt[:30])
+
+
+def test_repr():
+    pkt = build_udp_ipv4("10.0.0.1", "10.0.0.2", 1234, 53, b"abc")
+    assert "10.0.0.1:1234" in repr(parse_ip_packet(pkt))

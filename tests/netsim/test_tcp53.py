@@ -1,0 +1,65 @@
+"""Tests for DNS-over-TCP support (the paper's §2.1 future work)."""
+
+import pytest
+
+from repro.dnswire.constants import QTYPE
+from repro.dnswire.message import Message, ResourceRecord
+from repro.dnswire.rdata import A
+from repro.netsim.packet import (
+    PacketError,
+    build_dns_tcp_ipv4,
+    build_udp_ipv4,
+    parse_ip_packet,
+)
+from repro.observatory.preprocess import summarize_transaction
+
+
+def test_tcp_roundtrip():
+    pkt = build_dns_tcp_ipv4("10.0.0.1", "192.0.2.53", 40000, 53,
+                             b"dns-bytes", ttl=60)
+    dg = parse_ip_packet(pkt)
+    assert dg.transport == "tcp"
+    assert dg.payload == b"dns-bytes"
+    assert dg.src_port == 40000 and dg.dst_port == 53
+    assert dg.ttl == 60
+
+
+def test_udp_transport_labelled():
+    pkt = build_udp_ipv4("10.0.0.1", "192.0.2.53", 40000, 53, b"x")
+    assert parse_ip_packet(pkt).transport == "udp"
+
+
+def test_tcp_rejects_truncated_dns():
+    pkt = bytearray(build_dns_tcp_ipv4("10.0.0.1", "10.0.0.2", 1, 53,
+                                       b"0123456789"))
+    with pytest.raises(PacketError):
+        parse_ip_packet(bytes(pkt[:-5]))
+
+
+def test_tcp_rejects_missing_length_prefix():
+    pkt = build_dns_tcp_ipv4("10.0.0.1", "10.0.0.2", 1, 53, b"")
+    # Strip the framing entirely: 2-byte prefix is the whole payload.
+    with pytest.raises(PacketError):
+        parse_ip_packet(pkt[:-2])
+
+
+def test_tcp_rejects_oversized():
+    with pytest.raises(PacketError):
+        build_dns_tcp_ipv4("10.0.0.1", "10.0.0.2", 1, 53, b"x" * 70000)
+
+
+def test_full_preprocess_over_tcp():
+    """A complete DNS transaction carried over TCP/53 parses through
+    the §2.1 preprocessor identically to UDP."""
+    query = Message.make_query("www.example.com", QTYPE.A, msg_id=9)
+    response = Message.make_response(query, authoritative=True)
+    response.answer.append(ResourceRecord(
+        "www.example.com", QTYPE.A, 300, A("198.51.100.1")))
+    qpkt = build_dns_tcp_ipv4("10.0.0.1", "192.0.2.53", 45000, 53,
+                              query.to_wire())
+    rpkt = build_dns_tcp_ipv4("192.0.2.53", "10.0.0.1", 53, 45000,
+                              response.to_wire(), ttl=57)
+    txn = summarize_transaction(qpkt, rpkt, 0.0, 0.020)
+    assert txn.noerror
+    assert txn.answer_ips == ("198.51.100.1",)
+    assert txn.observed_ttl == 57

@@ -1,0 +1,116 @@
+"""Tests for time aggregation and retention (§2.4)."""
+
+import os
+
+import pytest
+
+from repro.observatory.aggregate import TimeAggregator, aggregate_series
+from repro.observatory.tsv import TimeSeriesData, list_series, read_tsv, write_tsv
+
+
+def series(start, rows, granularity="minutely", dataset="srvip"):
+    return TimeSeriesData(dataset, granularity, start,
+                          columns=["hits", "ok", "delay_q50"],
+                          rows=rows, stats={"seen": 10, "kept": 8})
+
+
+class TestAggregateSeries:
+    def test_counter_mean_with_missing_as_zero(self):
+        a = series(0, [("k1", {"hits": 10, "ok": 10, "delay_q50": 20.0})])
+        b = series(60, [("k1", {"hits": 20, "ok": 20, "delay_q50": 40.0}),
+                        ("k2", {"hits": 6, "ok": 6, "delay_q50": 5.0})])
+        agg = aggregate_series([a, b], "srvip", "decaminutely", 0,
+                               expected_points=2)
+        rmap = agg.row_map()
+        # Counter: mean over expected points, missing -> 0.
+        assert rmap["k1"]["hits"] == pytest.approx(15.0)
+        assert rmap["k2"]["hits"] == pytest.approx(3.0)
+        # Gauge: mean over *present* points only.
+        assert rmap["k1"]["delay_q50"] == pytest.approx(30.0)
+        assert rmap["k2"]["delay_q50"] == pytest.approx(5.0)
+
+    def test_expected_points_beyond_files(self):
+        # An object present in 1 of 10 minutely windows averages to 1/10.
+        a = series(0, [("k1", {"hits": 10, "ok": 10, "delay_q50": 1.0})])
+        agg = aggregate_series([a], "srvip", "decaminutely", 0,
+                               expected_points=10)
+        assert agg.row_map()["k1"]["hits"] == pytest.approx(1.0)
+        assert agg.row_map()["k1"]["delay_q50"] == pytest.approx(1.0)
+
+    def test_rows_sorted_by_hits(self):
+        a = series(0, [("small", {"hits": 1, "ok": 1, "delay_q50": 1}),
+                       ("big", {"hits": 100, "ok": 90, "delay_q50": 1})])
+        agg = aggregate_series([a], "srvip", "decaminutely", 0)
+        assert [k for k, _ in agg.rows] == ["big", "small"]
+
+    def test_stats_summed(self):
+        agg = aggregate_series([series(0, []), series(60, [])],
+                               "srvip", "decaminutely", 0)
+        assert agg.stats["seen"] == 20
+        assert agg.stats["points"] == 2
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(ValueError):
+            aggregate_series([], "srvip", "decaminutely", 0)
+
+
+class TestTimeAggregator:
+    def fill_minutely(self, directory, count=20, dataset="srvip"):
+        for i in range(count):
+            write_tsv(directory, series(
+                i * 60, [("k1", {"hits": i, "ok": i, "delay_q50": 10.0})],
+                dataset=dataset))
+
+    def test_aggregates_complete_windows_only(self, tmp_path):
+        d = str(tmp_path)
+        self.fill_minutely(d, count=20)  # covers [0, 1200): 2 decaminutes
+        agg = TimeAggregator(d)
+        written = agg.aggregate_directory("srvip")
+        deca = list_series(d, "srvip", "decaminutely")
+        assert [s[3] for s in deca] == [0, 600]
+        assert all(os.path.exists(p) for p in written)
+
+    def test_aggregation_is_idempotent(self, tmp_path):
+        d = str(tmp_path)
+        self.fill_minutely(d, count=20)
+        agg = TimeAggregator(d)
+        first = agg.aggregate_directory("srvip")
+        second = agg.aggregate_directory("srvip")
+        assert first and not second
+
+    def test_decaminutely_values(self, tmp_path):
+        d = str(tmp_path)
+        self.fill_minutely(d, count=20)
+        TimeAggregator(d).aggregate_directory("srvip")
+        path = list_series(d, "srvip", "decaminutely")[0][0]
+        data = read_tsv(path)
+        # hits 0..9 over 10 windows -> mean 4.5.
+        assert data.row_map()["k1"]["hits"] == pytest.approx(4.5)
+
+    def test_chain_to_hourly(self, tmp_path):
+        d = str(tmp_path)
+        # 90 minutes of minutely data: only hour 0 is complete.
+        self.fill_minutely(d, count=90)
+        TimeAggregator(d).aggregate_directory("srvip")
+        hourly = list_series(d, "srvip", "hourly")
+        assert [s[3] for s in hourly] == [0]
+
+    def test_retention_deletes_old_fine_files(self, tmp_path):
+        d = str(tmp_path)
+        self.fill_minutely(d, count=5)
+        agg = TimeAggregator(d, retention={"minutely": 100})
+        deleted = agg.apply_retention(now_ts=10_000)
+        assert len(deleted) == 5
+        assert list_series(d, "srvip", "minutely") == []
+
+    def test_retention_keeps_recent(self, tmp_path):
+        d = str(tmp_path)
+        self.fill_minutely(d, count=5)
+        agg = TimeAggregator(d, retention={"minutely": 100_000})
+        assert agg.apply_retention(now_ts=10_000) == []
+
+    def test_retention_none_keeps_forever(self, tmp_path):
+        d = str(tmp_path)
+        write_tsv(d, series(0, [], granularity="yearly"))
+        agg = TimeAggregator(d)
+        assert agg.apply_retention(now_ts=10**12) == []

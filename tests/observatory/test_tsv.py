@@ -1,0 +1,107 @@
+"""Tests for the TSV time-series file format."""
+
+import pytest
+
+from repro.observatory.tsv import (
+    GRANULARITIES,
+    TimeSeriesData,
+    filename_for,
+    list_series,
+    parse_filename,
+    read_tsv,
+    write_tsv,
+)
+
+
+def sample_data(start=60, dataset="srvip", granularity="minutely"):
+    rows = [
+        ("192.0.2.1", {"hits": 100, "ok": 90, "delay_q50": 12.5}),
+        ("192.0.2.2", {"hits": 50, "ok": 40, "delay_q50": 30.0}),
+    ]
+    return TimeSeriesData(dataset, granularity, start,
+                          columns=["hits", "ok", "delay_q50"],
+                          rows=rows, stats={"seen": 200, "kept": 150})
+
+
+class TestFilenames:
+    def test_roundtrip(self):
+        name = filename_for("srvip", "minutely", 86400)
+        assert parse_filename(name) == ("srvip", "minutely", 86400)
+
+    def test_encodes_granularity_and_time(self):
+        assert filename_for("qname", "hourly", 3600) == \
+            "qname.hourly.0000003600.tsv"
+
+    def test_dataset_with_dot(self):
+        name = filename_for("srvip.v6", "daily", 0)
+        assert parse_filename(name) == ("srvip.v6", "daily", 0)
+
+    def test_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            filename_for("srvip", "weekly", 0)
+
+    def test_rejects_unparseable(self):
+        with pytest.raises(ValueError):
+            parse_filename("notaseries.txt")
+        with pytest.raises(ValueError):
+            parse_filename("x.weekly.000.tsv")
+
+
+class TestReadWrite:
+    def test_roundtrip(self, tmp_path):
+        data = sample_data()
+        path = write_tsv(str(tmp_path), data)
+        back = read_tsv(path)
+        assert back.dataset == "srvip"
+        assert back.granularity == "minutely"
+        assert back.start_ts == 60
+        assert back.columns == data.columns
+        assert back.rows[0][0] == "192.0.2.1"
+        assert back.rows[0][1]["hits"] == 100
+        assert back.rows[0][1]["delay_q50"] == 12.5
+        assert back.stats == {"seen": 200, "kept": 150}
+
+    def test_header_and_stats_rows(self, tmp_path):
+        path = write_tsv(str(tmp_path), sample_data())
+        lines = open(path).read().splitlines()
+        assert lines[0].startswith("key\t")
+        assert lines[-1].startswith("#stats")
+
+    def test_rank_order_preserved(self, tmp_path):
+        path = write_tsv(str(tmp_path), sample_data())
+        back = read_tsv(path)
+        assert [k for k, _ in back.rows] == ["192.0.2.1", "192.0.2.2"]
+
+    def test_missing_column_written_as_zero(self, tmp_path):
+        data = TimeSeriesData("x", "minutely", 0, columns=["hits", "ok"],
+                              rows=[("k", {"hits": 3})])
+        back = read_tsv(write_tsv(str(tmp_path), data))
+        assert back.rows[0][1]["ok"] == 0
+
+    def test_row_map(self):
+        assert sample_data().row_map()["192.0.2.2"]["hits"] == 50
+
+    def test_len(self):
+        assert len(sample_data()) == 2
+
+
+class TestListSeries:
+    def test_sorted_and_filtered(self, tmp_path):
+        for start in (120, 60):
+            write_tsv(str(tmp_path), sample_data(start=start))
+        write_tsv(str(tmp_path), sample_data(start=0, dataset="qname"))
+        (tmp_path / "junk.txt").write_text("ignore me")
+        all_series = list_series(str(tmp_path))
+        assert len(all_series) == 3
+        srvip = list_series(str(tmp_path), dataset="srvip")
+        assert [s[3] for s in srvip] == [60, 120]
+        assert list_series(str(tmp_path), granularity="hourly") == []
+
+    def test_missing_directory(self):
+        assert list_series("/nonexistent/path") == []
+
+
+def test_granularity_chain_consistent():
+    assert GRANULARITIES["decaminutely"] == 10 * GRANULARITIES["minutely"]
+    assert GRANULARITIES["hourly"] == 6 * GRANULARITIES["decaminutely"]
+    assert GRANULARITIES["daily"] == 24 * GRANULARITIES["hourly"]

@@ -1,0 +1,72 @@
+"""Tests for diurnal workload modulation."""
+
+import pytest
+
+from repro.simulation.buildout import build_global_dns
+from repro.simulation.scenario import Scenario
+from repro.simulation.workload import WorkloadMix
+
+
+def event_counts(scenario, buckets):
+    dns = build_global_dns(scenario)
+    mix = WorkloadMix(scenario, dns)
+    counts = [0] * buckets
+    width = scenario.duration / buckets
+    total = 0
+    for event in mix.events():
+        counts[min(int(event.ts / width), buckets - 1)] += 1
+        total += 1
+    return counts, total
+
+
+def test_flat_by_default():
+    scenario = Scenario.tiny(seed=81, duration=400.0, client_qps=60.0)
+    counts, _ = event_counts(scenario, buckets=4)
+    mean = sum(counts) / len(counts)
+    assert all(abs(c - mean) / mean < 0.2 for c in counts)
+
+
+def test_diurnal_swing_visible():
+    # One full "day" compressed into the run: peak in the first half
+    # of the sine, trough in the second.
+    scenario = Scenario.tiny(seed=82, duration=400.0, client_qps=60.0,
+                             diurnal_amplitude=0.8,
+                             diurnal_period=400.0)
+    counts, _ = event_counts(scenario, buckets=4)
+    # sin peaks in bucket 0/1 region, bottoms in bucket 2/3.
+    peak = counts[0] + counts[1]
+    trough = counts[2] + counts[3]
+    assert peak > 1.5 * trough
+
+
+def test_mean_rate_preserved():
+    flat = Scenario.tiny(seed=83, duration=400.0, client_qps=60.0)
+    wavy = Scenario.tiny(seed=83, duration=400.0, client_qps=60.0,
+                         diurnal_amplitude=0.6, diurnal_period=200.0)
+    _, flat_total = event_counts(flat, 1)
+    _, wavy_total = event_counts(wavy, 1)
+    # Whole periods average out: totals within 10%.
+    assert abs(wavy_total - flat_total) / flat_total < 0.1
+
+
+def test_rejects_bad_amplitude():
+    with pytest.raises(ValueError):
+        Scenario.tiny(diurnal_amplitude=1.5)
+
+
+def test_heatmap_pgm_export(tmp_path):
+    from repro.netsim.hilbert import HilbertHeatmap
+
+    hm = HilbertHeatmap(order=3)
+    for i in range(10):
+        hm.add("10.0.%d.1" % i)
+    path = hm.to_pgm(str(tmp_path / "fig6.pgm"))
+    lines = open(path).read().splitlines()
+    assert lines[0] == "P2"
+    width, height = map(int, lines[2].split())
+    assert (width, height) == (8, 8)
+    pixels = [int(v) for line in lines[4:] for v in line.split()]
+    assert len(pixels) == 64
+    nonzero_cells = sum(1 for row in hm.grid() for c in row if c)
+    assert sum(1 for p in pixels if p > 0) == nonzero_cells
+    assert nonzero_cells >= 1

@@ -1,0 +1,114 @@
+"""Per-generator tests for the client workload mix."""
+
+import collections
+
+import pytest
+
+from repro.dnswire.constants import QTYPE
+from repro.simulation.buildout import build_global_dns
+from repro.simulation.scenario import Scenario
+from repro.simulation.workload import DEFAULT_WEIGHTS, WorkloadMix
+
+
+@pytest.fixture(scope="module")
+def mix():
+    scenario = Scenario.tiny(seed=301, duration=240.0, client_qps=60.0)
+    return WorkloadMix(scenario, build_global_dns(scenario))
+
+
+@pytest.fixture(scope="module")
+def events(mix):
+    return list(mix.events())
+
+
+def by_tag(events):
+    groups = collections.defaultdict(list)
+    for event in events:
+        groups[event.tag].append(event)
+    return groups
+
+
+def test_all_generators_emit(events):
+    tags = {e.tag for e in events}
+    for name in DEFAULT_WEIGHTS:
+        if name == "web":
+            assert "web" in tags
+        else:
+            assert name in tags or name in ("iot",), name
+
+
+def test_tag_qtypes_consistent(events):
+    expected = {
+        "web": QTYPE.A, "web6": QTYPE.AAAA, "ephemeral": QTYPE.A,
+        "ptr": QTYPE.PTR, "txt": QTYPE.TXT, "mx": QTYPE.MX,
+        "ns_probe": QTYPE.NS, "srv": QTYPE.SRV, "cname": QTYPE.CNAME,
+        "soa": QTYPE.SOA, "ds": QTYPE.DS, "botnet": QTYPE.A,
+        "tld_typo": QTYPE.A, "iot": QTYPE.A, "polling": QTYPE.A,
+        "polling6": QTYPE.AAAA,
+    }
+    for event in events:
+        assert event.qtype == expected[event.tag], event.tag
+
+
+def test_ptr_names_are_reverse(events):
+    groups = by_tag(events)
+    for event in groups["ptr"][:50]:
+        assert event.qname.endswith(".in-addr.arpa")
+        assert len(event.qname.split(".")) == 6
+
+
+def test_txt_names_under_av_domain(events, mix):
+    groups = by_tag(events)
+    av_zones = {z.name for z in mix.dns.wildcard_slds
+                if z.wildcard and "TXT" in z.wildcard}
+    if not av_zones:
+        pytest.skip("no TXT wildcard zones in scenario")
+    for event in groups["txt"][:50]:
+        assert any(event.qname.endswith(z) for z in av_zones)
+
+
+def test_ephemeral_names_are_unique(events):
+    groups = by_tag(events)
+    names = [e.qname for e in groups["ephemeral"]]
+    assert len(set(names)) == len(names)
+
+
+def test_botnet_names_under_com(events):
+    groups = by_tag(events)
+    assert groups["botnet"]
+    for event in groups["botnet"][:50]:
+        assert event.qname.endswith(".com")
+        assert ".mylo" in event.qname
+
+
+def test_tld_typo_names_have_fake_tlds(events, mix):
+    groups = by_tag(events)
+    real_tlds = set(mix.dns.root.tlds)
+    for event in groups["tld_typo"][:50]:
+        assert event.qname.rsplit(".", 1)[-1] not in real_tlds
+
+
+def test_polling_targets_specials(events):
+    groups = by_tag(events)
+    assert groups["polling"]
+    targets = {e.qname for e in groups["polling"]}
+    from repro.simulation.buildout import SPECIAL_V4ONLY
+
+    specials = {fqdn for fqdn, _, _, _ in SPECIAL_V4ONLY}
+    assert targets <= specials
+    # NTP hosts are polled hardest.
+    counts = collections.Counter(e.qname for e in groups["polling"])
+    ntp = sum(v for k, v in counts.items() if "ntp" in k)
+    assert ntp > 0.4 * len(groups["polling"])
+
+
+def test_web_dominates(events):
+    groups = by_tag(events)
+    assert len(groups["web"]) > 0.3 * len(events)
+
+
+def test_resolver_indices_skewed(events, mix):
+    counts = collections.Counter(e.resolver_index for e in events)
+    busiest = counts.most_common(1)[0][1]
+    median = sorted(counts.values())[len(counts) // 2]
+    assert busiest > 1.5 * median  # some resolvers are much busier

@@ -1,0 +1,60 @@
+"""Tests for the seeded hashing helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sketches._hashing import hash64, hash_pair, mix64
+
+
+def test_hash64_deterministic():
+    assert hash64("example.com") == hash64("example.com")
+    assert hash64(b"example.com") == hash64("example.com")
+
+
+def test_hash64_seed_independence():
+    h0 = hash64("example.com", seed=0)
+    h1 = hash64("example.com", seed=1)
+    assert h0 != h1
+
+
+def test_hash64_distinct_keys():
+    values = {hash64("key-%d" % i) for i in range(1000)}
+    assert len(values) == 1000
+
+
+def test_hash64_range():
+    for i in range(100):
+        assert 0 <= hash64("k%d" % i) < 2**64
+
+
+def test_hash_pair_second_is_odd():
+    for i in range(50):
+        _, h2 = hash_pair("k%d" % i)
+        assert h2 % 2 == 1
+
+
+def test_hash_pair_components_differ():
+    h1, h2 = hash_pair("example.com")
+    assert h1 != h2
+
+
+def test_mix64_range_and_determinism():
+    assert mix64(0) == mix64(0)
+    for i in range(100):
+        assert 0 <= mix64(i) < 2**64
+
+
+def test_mix64_avalanche():
+    # Nearby inputs should map to very different outputs.
+    outputs = {mix64(i) for i in range(256)}
+    assert len(outputs) == 256
+
+
+@given(st.text())
+def test_hash64_handles_arbitrary_text(s):
+    assert 0 <= hash64(s) < 2**64
+
+
+@given(st.binary())
+def test_hash64_handles_arbitrary_bytes(b):
+    assert hash64(b) == hash64(b)

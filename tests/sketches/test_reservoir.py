@@ -1,0 +1,54 @@
+"""Tests for reservoir sampling."""
+
+import pytest
+
+from repro.sketches.reservoir import ReservoirSample
+
+
+def test_keeps_all_when_under_size():
+    rs = ReservoirSample(size=10, seed=1)
+    for i in range(5):
+        rs.add(i)
+    assert sorted(rs.items()) == [0, 1, 2, 3, 4]
+    assert len(rs) == 5
+
+
+def test_size_bound():
+    rs = ReservoirSample(size=10, seed=1)
+    for i in range(1000):
+        rs.add(i)
+    assert len(rs) == 10
+    assert rs.count == 1000
+
+
+def test_deterministic_given_seed():
+    a = ReservoirSample(size=5, seed=42)
+    b = ReservoirSample(size=5, seed=42)
+    for i in range(100):
+        a.add(i)
+        b.add(i)
+    assert a.items() == b.items()
+
+
+def test_roughly_uniform():
+    # Each of 100 items should be selected ~ size/n of the time.
+    hits = [0] * 100
+    for seed in range(300):
+        rs = ReservoirSample(size=10, seed=seed)
+        for i in range(100):
+            rs.add(i)
+        for item in rs:
+            hits[item] += 1
+    expected = 300 * 10 / 100
+    assert all(expected * 0.3 < h < expected * 2.5 for h in hits)
+
+
+def test_rejects_bad_size():
+    with pytest.raises(ValueError):
+        ReservoirSample(size=0)
+
+
+def test_iterable():
+    rs = ReservoirSample(size=3, seed=0)
+    rs.add("x")
+    assert list(rs) == ["x"]

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_to_file(tmp_path, capsys):
+    out = tmp_path / "stream.tsv"
+    rc = main(["simulate", "--preset", "tiny", "--seed", "3",
+               "--duration", "60", "--qps", "20", "-o", str(out)])
+    assert rc == 0
+    lines = out.read_text().splitlines()
+    assert len(lines) > 100
+    err = capsys.readouterr().err
+    assert "transactions" in err
+
+
+def test_simulate_then_replay(tmp_path, capsys):
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "4", "--duration", "120", "--qps", "20",
+          "-o", str(stream)])
+    outdir = tmp_path / "tsv"
+    rc = main(["replay", str(stream), str(outdir),
+               "--datasets", "srvip", "qtype", "--k", "500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out
+    from repro.observatory.tsv import list_series
+
+    assert list_series(str(outdir), "srvip", "minutely")
+
+
+def test_replay_roundtrip_preserves_transactions(tmp_path):
+    from repro.observatory.transaction import Transaction
+
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "5", "--duration", "60", "--qps", "10",
+          "-o", str(stream)])
+    for line in stream.read_text().splitlines()[:50]:
+        txn = Transaction.from_line(line)
+        assert txn.to_line() == line
+
+
+def test_aggregate_command(tmp_path, capsys):
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "6", "--duration", "1300", "--qps", "8",
+          "-o", str(stream)])
+    outdir = tmp_path / "tsv"
+    main(["replay", str(stream), str(outdir), "--datasets", "qtype"])
+    rc = main(["aggregate", str(outdir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "aggregated" in out
+    from repro.observatory.tsv import list_series
+
+    assert list_series(str(outdir), "qtype", "decaminutely")
+
+
+def test_report_command(tmp_path, capsys):
+    csv_dir = tmp_path / "csv"
+    rc = main(["report", "--preset", "tiny", "--seed", "7",
+               "--duration", "180", "--qps", "30",
+               "--csv-dir", str(csv_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 2" in out
+    assert "Table 1" in out
+    assert "Table 2" in out
+    assert "Figure 3a" in out
+    assert "Figure 9" in out
+    names = {p.name for p in csv_dir.iterdir()}
+    assert "table1.csv" in names
+    assert "fig9_happy_eyeballs.csv" in names
+    assert "fig2_srvip.csv" in names

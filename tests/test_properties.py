@@ -1,0 +1,151 @@
+"""Cross-module property-based tests: system-level invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnswire.constants import QTYPE, RCODE
+from repro.observatory.aggregate import aggregate_series
+from repro.observatory.pipeline import Observatory
+from repro.observatory.transaction import Transaction
+from repro.observatory.tsv import TimeSeriesData, read_tsv, write_tsv
+from tests.util import make_nxdomain, make_txn
+
+# -- strategies ---------------------------------------------------------
+
+qtypes = st.sampled_from([QTYPE.A, QTYPE.AAAA, QTYPE.NS, QTYPE.MX,
+                          QTYPE.TXT, QTYPE.PTR])
+rcodes = st.sampled_from(list(RCODE))
+names = st.sampled_from([
+    "example.com", "www.example.com", "a.b.c.example.org",
+    "bbc.co.uk", "x.ck", ".",
+])
+
+
+@st.composite
+def transactions(draw):
+    answered = draw(st.booleans())
+    answer_count = draw(st.integers(0, 3))
+    rcode = draw(rcodes) if answered else None
+    if rcode != RCODE.NOERROR:
+        answer_count = 0
+    return make_txn(
+        ts=draw(st.floats(0, 1000, allow_nan=False)),
+        qname=draw(names),
+        qtype=draw(qtypes),
+        rcode=rcode,
+        answered=answered,
+        aa=draw(st.booleans()),
+        answer_count=answer_count,
+        answer_ttls=tuple([300] * answer_count),
+        answer_ips=tuple("198.51.100.%d" % i for i in range(answer_count)),
+        authority_ns_count=draw(st.integers(0, 2)),
+        delay_ms=draw(st.floats(0.1, 500, allow_nan=False)),
+        observed_ttl=draw(st.integers(30, 255)),
+        response_size=draw(st.integers(12, 1400)),
+    )
+
+
+# -- properties ---------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(transactions(), min_size=1, max_size=60))
+def test_transaction_line_roundtrip_property(txns):
+    """Every transaction survives the §2.1 line serialization (floats
+    up to the format's fixed decimal precision)."""
+    for txn in txns:
+        back = Transaction.from_line(txn.to_line())
+        for attr in Transaction.__slots__:
+            a, b = getattr(back, attr), getattr(txn, attr)
+            if attr == "ts":
+                assert abs(a - b) < 1e-6, attr
+            elif attr == "delay_ms":
+                assert abs(a - b) < 1e-3, attr
+            else:
+                assert a == b, attr
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(transactions(), min_size=1, max_size=80))
+def test_observatory_conserves_transactions(txns):
+    """hits summed over dumped rows never exceed ingested transactions,
+    and equals them when the top-k cache is big enough."""
+    txns = sorted(txns, key=lambda t: t.ts)
+    obs = Observatory(datasets=[("qname", 1000)], use_bloom_gate=False,
+                      skip_recent_inserts=False)
+    obs.consume(txns)
+    obs.finish()
+    dumped = sum(row["hits"] for d in obs.dumps["qname"]
+                 for _, row in d.rows)
+    assert dumped == len(txns)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(transactions(), min_size=1, max_size=80),
+       st.integers(1, 4))
+def test_capture_ratio_monotone_in_k(txns, small_k):
+    """A bigger top-k cache never captures less traffic."""
+    txns = sorted(txns, key=lambda t: t.ts)
+    small = Observatory(datasets=[("qname", small_k)],
+                        use_bloom_gate=False)
+    big = Observatory(datasets=[("qname", 1000)], use_bloom_gate=False)
+    small.consume(txns)
+    big.consume(txns)
+    assert big.capture_ratios()["qname"] >= \
+        small.capture_ratios()["qname"] - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(
+    st.sampled_from(["k1", "k2", "k3"]),
+    st.integers(0, 100),
+    st.floats(0, 50, allow_nan=False),
+), min_size=1, max_size=30))
+def test_aggregation_preserves_counter_mass(entries):
+    """Summed counter mass is invariant under time aggregation when
+    expected_points equals the file count."""
+    series_list = []
+    for i, (key, hits, delay) in enumerate(entries):
+        series_list.append(TimeSeriesData(
+            "x", "minutely", i * 60, columns=["hits", "delay_q50"],
+            rows=[(key, {"hits": hits, "delay_q50": delay})]))
+    agg = aggregate_series(series_list, "x", "decaminutely", 0,
+                           expected_points=len(series_list))
+    total_in = sum(h for _, h, _ in entries)
+    total_out = sum(row["hits"] for _, row in agg.rows) * len(series_list)
+    assert abs(total_out - total_in) < 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(
+    st.text(alphabet="abc123.", min_size=1, max_size=20).map(
+        lambda s: s.strip(".") or "k"),
+    st.integers(0, 10**6),
+), min_size=1, max_size=20, unique_by=lambda kv: kv[0]),
+    st.integers(0, 10**6))
+def test_tsv_roundtrip_property(rows, start):
+    """Arbitrary keys and integer values survive the TSV format."""
+    import tempfile
+
+    data = TimeSeriesData("prop", "minutely", start, columns=["hits"],
+                          rows=[(k, {"hits": v}) for k, v in rows])
+    with tempfile.TemporaryDirectory() as d:
+        back = read_tsv(write_tsv(d, data))
+    assert back.start_ts == start
+    assert back.rows == [(k, {"hits": v}) for k, v in rows]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 2**31))
+def test_simulation_determinism_property(seed):
+    """Same seed -> identical stream prefix; independent of process
+    hash randomization."""
+    from repro.simulation import Scenario, SieChannel
+
+    def prefix(n=40):
+        scenario = Scenario.tiny(seed=seed, duration=30.0, client_qps=20.0)
+        stream = SieChannel(scenario).run()
+        return [next(stream).to_line() for _ in range(n)]
+
+    assert prefix() == prefix()

@@ -1,0 +1,123 @@
+"""Micro-benchmarks for the single-process ingest hot path.
+
+Quantifies the batch-ingest optimizations that ride along with the
+sharded engine: lazy :class:`TxnHashes` (each base hash is computed on
+first use instead of eagerly for every tracker), memoized key
+extraction (the PSL walk for esld/etld is cached per qname), and the
+hoisted window-boundary check of ``consume_batch``.
+"""
+
+import pytest
+
+from benchmarks.conftest import base_scenario, save_result
+from repro.observatory.features import TxnHashes
+from repro.observatory.keys import make_dataset
+from repro.observatory.pipeline import Observatory
+from repro.sketches._hashing import hash64
+from repro.simulation.sie import SieChannel
+
+
+@pytest.fixture(scope="module")
+def transaction_batch():
+    scenario = base_scenario(duration=120.0, client_qps=150.0)
+    return list(SieChannel(scenario).run())
+
+
+def test_txn_hashes_lazy_vs_eager(benchmark, transaction_batch):
+    """A single-dataset pipeline touches at most one or two of the
+    four base hashes; lazy evaluation should beat computing all of
+    them up front (what the eager implementation did)."""
+    def lazy():
+        total = 0
+        for txn in transaction_batch:
+            hashes = TxnHashes(txn)
+            total += hashes.server & 1  # one feature consumer
+        return total
+
+    benchmark.pedantic(lazy, rounds=5, iterations=1)
+    lazy_s = benchmark.stats["mean"]
+
+    import time
+
+    def eager():
+        total = 0
+        for txn in transaction_batch:
+            server = hash64(txn.server_ip)
+            resolver = hash64(txn.resolver_ip)
+            qname = hash64(txn.qname)
+            qdots = txn.qdots
+            total += server & 1
+        return total
+
+    t0 = time.perf_counter()
+    for _ in range(5):
+        eager()
+    eager_s = (time.perf_counter() - t0) / 5
+    save_result(
+        "micro_txn_hashes",
+        "TxnHashes over %d txns, one hash consumed:\n"
+        "  lazy  %.1f us/txn\n  eager %.1f us/txn (computes all 4)\n"
+        "  speedup %.2fx" % (
+            len(transaction_batch),
+            1e6 * lazy_s / len(transaction_batch),
+            1e6 * eager_s / len(transaction_batch),
+            eager_s / lazy_s))
+    assert lazy_s < eager_s
+
+
+def test_esld_key_extraction_memoized(benchmark, transaction_batch):
+    """The esld extractor caches the public-suffix walk per qname;
+    repeated qnames (the common case -- DNS traffic is heavily
+    skewed) must hit the memo."""
+    spec = make_dataset("esld", 2000)
+    extract = spec.make_extractor()
+
+    def run():
+        count = 0
+        for txn in transaction_batch:
+            if extract(txn) is not None:
+                count += 1
+        return count
+
+    count = benchmark.pedantic(run, rounds=5, iterations=1)
+    per_txn = 1e6 * benchmark.stats["mean"] / len(transaction_batch)
+    save_result(
+        "micro_esld_extraction",
+        "memoized esld extraction: %.2f us/txn (%d/%d keyed)" % (
+            per_txn, count, len(transaction_batch)))
+    assert count > 0
+    assert per_txn < 10.0
+
+
+def test_consume_batch_vs_ingest_loop(benchmark, transaction_batch):
+    """consume_batch (hoisted boundary checks, pre-bound trackers)
+    must not be slower than the per-transaction ingest loop."""
+    def batched():
+        obs = Observatory(datasets=[("srvip", 2000)], use_bloom_gate=False)
+        obs.consume_batch(transaction_batch)
+        obs.finish()
+        return obs
+
+    benchmark.pedantic(batched, rounds=3, iterations=1)
+    batched_s = benchmark.stats["mean"]
+
+    import time
+
+    t0 = time.perf_counter()
+    obs = Observatory(datasets=[("srvip", 2000)], use_bloom_gate=False)
+    for txn in transaction_batch:
+        obs.ingest(txn)
+    obs.finish()
+    loop_s = time.perf_counter() - t0
+
+    save_result(
+        "micro_consume_batch",
+        "srvip-only ingest of %d txns:\n"
+        "  consume_batch %.0f txn/s\n  ingest loop   %.0f txn/s\n"
+        "  speedup %.2fx" % (
+            len(transaction_batch),
+            len(transaction_batch) / batched_s,
+            len(transaction_batch) / loop_s,
+            loop_s / batched_s))
+    # Allow scheduling noise, but batching must never regress badly.
+    assert batched_s < loop_s * 1.10

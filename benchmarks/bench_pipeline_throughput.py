@@ -7,11 +7,19 @@ Python pipeline sustains for (a) the Top-k tracking core alone and
 the scale map in DESIGN.md.
 """
 
+import os
+
 import pytest
 
 from benchmarks.conftest import base_scenario, save_result
 from repro.observatory.pipeline import Observatory
+from repro.observatory.sharded import ShardedObservatory
 from repro.simulation.sie import SieChannel
+
+ALL_DATASETS = [("srvip", 2000), ("qname", 4000), ("esld", 2000),
+                "qtype", "rcode", ("aafqdn", 2000)]
+
+CORES = os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -37,10 +45,7 @@ def test_throughput_srvip_only(benchmark, transaction_batch):
 
 def test_throughput_all_datasets(benchmark, transaction_batch):
     def ingest():
-        obs = Observatory(
-            datasets=[("srvip", 2000), ("qname", 4000), ("esld", 2000),
-                      "qtype", "rcode", ("aafqdn", 2000)],
-            use_bloom_gate=False)
+        obs = Observatory(datasets=ALL_DATASETS, use_bloom_gate=False)
         obs.consume(transaction_batch)
         obs.finish()
         return obs
@@ -50,6 +55,47 @@ def test_throughput_all_datasets(benchmark, transaction_batch):
     save_result("throughput_all", "all-datasets pipeline: %d txn/s "
                 "(%d transactions)" % (rate, len(transaction_batch)))
     assert rate > 1000
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_throughput_sharded(benchmark, transaction_batch, shards):
+    """All-datasets ingest through N worker processes.
+
+    The >= 2x-over-single-process criterion only makes sense with
+    real parallelism; on a single-core container the workers time-
+    share one CPU and the bench records the (honest) overhead instead,
+    so the speedup assertion is gated on the available core count.
+    """
+    def ingest():
+        obs = ShardedObservatory(shards=shards, datasets=ALL_DATASETS,
+                                 use_bloom_gate=False, keep_dumps=False)
+        obs.consume(transaction_batch)
+        obs.finish()
+        return obs
+
+    obs = benchmark.pedantic(ingest, rounds=2, iterations=1)
+    assert obs.total_seen == len(transaction_batch)
+    rate = len(transaction_batch) / benchmark.stats["mean"]
+    save_result(
+        "throughput_sharded_%d" % shards,
+        "sharded pipeline (%d workers, %d cpu cores): %d txn/s "
+        "(%d transactions)" % (shards, CORES, rate,
+                               len(transaction_batch)))
+    if CORES >= 2 * shards:
+        single_rate = _single_process_rate(transaction_batch)
+        assert rate >= 2 * single_rate, \
+            "expected >=2x single-process throughput on %d cores" % CORES
+
+
+def _single_process_rate(transaction_batch):
+    import time
+
+    obs = Observatory(datasets=ALL_DATASETS, use_bloom_gate=False,
+                      keep_dumps=False)
+    t0 = time.perf_counter()
+    obs.consume(transaction_batch)
+    obs.finish()
+    return len(transaction_batch) / (time.perf_counter() - t0)
 
 
 def test_throughput_simulation(benchmark):

@@ -67,19 +67,32 @@ def cmd_simulate(args):
 
 
 def cmd_replay(args):
-    obs = Observatory(
-        datasets=[(name, args.k) for name in args.datasets],
-        output_dir=args.output_dir,
-        window_seconds=args.window,
-    )
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1, got %d" % args.shards)
+    datasets = [(name, args.k) for name in args.datasets]
+    if args.shards > 1:
+        from repro.observatory.sharded import ShardedObservatory
+        obs = ShardedObservatory(
+            shards=args.shards,
+            datasets=datasets,
+            output_dir=args.output_dir,
+            window_seconds=args.window,
+        )
+    else:
+        obs = Observatory(
+            datasets=datasets,
+            output_dir=args.output_dir,
+            window_seconds=args.window,
+        )
     with open(args.input) if args.input != "-" else sys.stdin as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                obs.ingest(Transaction.from_line(line))
+        obs.consume(
+            Transaction.from_line(line)
+            for line in fh if line.strip()
+        )
     obs.finish()
-    print("replayed %d transactions into %s" % (
-        obs.total_seen, args.output_dir))
+    print("replayed %d transactions into %s%s" % (
+        obs.total_seen, args.output_dir,
+        " (%d shards)" % args.shards if args.shards > 1 else ""))
     for name, ratio in sorted(obs.capture_ratios().items()):
         print("  %-8s capture %.1f%%" % (name, ratio * 100))
     return 0
@@ -180,6 +193,9 @@ def build_parser():
                    default=["srvip", "qname", "esld", "qtype"])
     p.add_argument("--k", type=int, default=2000, help="Top-k size")
     p.add_argument("--window", type=float, default=60.0)
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="ingest with N sharded worker processes "
+                        "(1 = single-process)")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="simulate and print the Big Picture")

@@ -19,12 +19,15 @@ F) files are aggregated in time -- minutely to 10-minutely to hourly
    to daily -- with retention (:mod:`~repro.observatory.aggregate`).
 
 The :class:`~repro.observatory.pipeline.Observatory` facade wires all
-of this together.
+of this together; :class:`~repro.observatory.sharded.ShardedObservatory`
+scales the same pipeline across worker processes with mergeable
+sketches.
 """
 
 from repro.observatory.features import FeatureSet
 from repro.observatory.keys import DATASETS, DatasetSpec
 from repro.observatory.pipeline import Observatory
+from repro.observatory.sharded import ShardedObservatory
 from repro.observatory.tracker import TopKTracker
 from repro.observatory.transaction import Transaction
 from repro.observatory.window import WindowManager
@@ -34,6 +37,7 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "Observatory",
+    "ShardedObservatory",
     "TopKTracker",
     "Transaction",
     "WindowManager",

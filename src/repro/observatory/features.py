@@ -56,42 +56,35 @@ class TxnHashes:
     dominant blake2b cost from the ingest hot path; the per-feature
     independence comes from :func:`~repro.sketches._hashing.derive64`.
 
-    Fields are computed lazily -- a filtered-out transaction pays for
-    nothing.
+    Every field is computed on first attribute access only: an unset
+    slot falls through to :meth:`__getattr__`, which computes the
+    value and stores it in the slot, so later accesses are plain slot
+    reads.  Construction itself stores a single reference -- a
+    transaction that all trackers filter out (or a dataset that never
+    touches e.g. ``qdots``) pays for no hashing at all.
     """
 
-    __slots__ = ("txn", "_server", "_resolver", "_qname", "_qdots")
+    __slots__ = ("txn", "server", "resolver", "qname", "qdots")
 
     def __init__(self, txn):
         self.txn = txn
-        self._server = None
-        self._resolver = None
-        self._qname = None
-        self._qdots = None
 
-    @property
-    def server(self):
-        if self._server is None:
-            self._server = hash64(self.txn.server_ip)
-        return self._server
-
-    @property
-    def resolver(self):
-        if self._resolver is None:
-            self._resolver = hash64(self.txn.resolver_ip)
-        return self._resolver
-
-    @property
-    def qname(self):
-        if self._qname is None:
-            self._qname = hash64(self.txn.qname)
-        return self._qname
-
-    @property
-    def qdots(self):
-        if self._qdots is None:
-            self._qdots = self.txn.qdots
-        return self._qdots
+    def __getattr__(self, name):
+        # Reached only while the slot is still unset (slot reads that
+        # succeed never get here).
+        txn = self.txn
+        if name == "server":
+            value = hash64(txn.server_ip)
+        elif name == "resolver":
+            value = hash64(txn.resolver_ip)
+        elif name == "qname":
+            value = hash64(txn.qname)
+        elif name == "qdots":
+            value = txn.qdots
+        else:
+            raise AttributeError(name)
+        setattr(self, name, value)
+        return value
 
 
 class FeatureSet:
@@ -235,6 +228,71 @@ class FeatureSet:
         self.resp_delays.add(txn.delay_ms)
         self.network_hops.add(infer_hops(txn.observed_ttl))
         self.resp_size.add(txn.response_size)
+
+    # ------------------------------------------------------------------
+
+    def merge(self, other):
+        """Fold another object's statistics into this one (§2.4 merge).
+
+        This is what makes per-shard feature state combinable into the
+        global per-window rows: counters add exactly, the HLL sketches
+        merge register-wise (yielding byte-identical registers to a
+        single-pass sketch over the combined stream), the bounded sets
+        union (subject to their caps), running means and histograms
+        add exactly, and the top-TTL counters merge with the usual
+        Space-Saving-style overestimate.
+
+        Both sides must use the same HLL precision (seeds are fixed
+        per feature).  Returns self.
+        """
+        if not isinstance(other, FeatureSet):
+            raise TypeError("can only merge FeatureSet instances")
+        if self._hll_precision != other._hll_precision:
+            raise ValueError("cannot merge FeatureSets with different "
+                             "HLL precision")
+        for name in COUNTER_COLUMNS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.srvips.merge(other.srvips)
+        self.srcips.merge(other.srcips)
+        self.qnamesa.merge(other.qnamesa)
+        self.qnames.merge(other.qnames)
+        self.tlds.merge(other.tlds)
+        self.eslds.merge(other.eslds)
+        self.ip4s.merge(other.ip4s)
+        self.ip6s.merge(other.ip6s)
+        for source in other._sources:
+            if len(self._sources) >= _MAX_SOURCES:
+                break
+            self._sources.add(source)
+        for qtype in other._qtypes:
+            if len(self._qtypes) >= 256:
+                break
+            self._qtypes.add(qtype)
+        self.qdots.merge(other.qdots)
+        self.lvl.merge(other.lvl)
+        self.nslvl.merge(other.nslvl)
+        if other.qdots_max > self.qdots_max:
+            self.qdots_max = other.qdots_max
+        self.ttl.merge(other.ttl)
+        self.nsttl.merge(other.nsttl)
+        self.resp_delays.merge(other.resp_delays)
+        self.network_hops.merge(other.network_hops)
+        self.resp_size.merge(other.resp_size)
+        return self
+
+    # -- pickling (sharded ingest ships FeatureSets between processes) --
+
+    def __getstate__(self):
+        # The PSL is a large shared object and is only consulted by
+        # update(); merged/dumped state never calls update() again, so
+        # the unpickled copy reattaches the process-default PSL.
+        return {name: getattr(self, name)
+                for name in self.__slots__ if name != "_psl"}
+
+    def __setstate__(self, state):
+        self._psl = default_psl()
+        for name, value in state.items():
+            setattr(self, name, value)
 
     # ------------------------------------------------------------------
 

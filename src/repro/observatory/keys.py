@@ -28,9 +28,25 @@ from repro.dnswire.psl import default_psl
 
 
 class DatasetSpec:
-    """Specification of one Top-k aggregation dataset."""
+    """Specification of one Top-k aggregation dataset.
 
-    def __init__(self, name, key_fn, k, description="", filter_fn=None):
+    Beyond the basic ``key_fn`` contract, two optional fields let the
+    hot path specialize extraction per dataset:
+
+    ``key_factory``
+        ``psl -> key_fn``: builds an extractor with the Public Suffix
+        List pre-bound, so PSL-based datasets skip the per-transaction
+        ``default_psl()`` resolution.
+    ``cache_key_attr``
+        Name of the single transaction attribute that fully determines
+        the key (e.g. ``"qname"`` for eTLD extraction).  When set, the
+        tracker memoizes ``attr value -> key`` -- the stream repeats
+        popular names millions of times, so suffix matching runs once
+        per distinct name instead of once per transaction.
+    """
+
+    def __init__(self, name, key_fn, k, description="", filter_fn=None,
+                 key_factory=None, cache_key_attr=None):
         #: dataset identifier (also the TSV file prefix)
         self.name = name
         #: transaction -> key string (None skips the transaction)
@@ -41,12 +57,57 @@ class DatasetSpec:
         self.description = description
         #: optional pre-filter, transaction -> bool
         self.filter_fn = filter_fn
+        #: optional psl -> key_fn specialization
+        self.key_factory = key_factory
+        #: optional txn attribute name that determines the key
+        self.cache_key_attr = cache_key_attr
 
     def extract(self, txn):
         """Return the key for *txn*, or None when filtered out."""
         if self.filter_fn is not None and not self.filter_fn(txn):
             return None
         return self.key_fn(txn)
+
+    def make_extractor(self, psl=None, cache_limit=100_000):
+        """Build the fastest extractor available for this dataset.
+
+        Returns a ``txn -> key-or-None`` callable with the PSL bound
+        (when the dataset uses one) and, when ``cache_key_attr`` is
+        set and no pre-filter interferes, a bounded memo of
+        ``attr value -> key`` in front (cleared wholesale when full,
+        like the PSL's own cache).
+        """
+        if self.key_factory is not None:
+            key_fn = self.key_factory(
+                psl if psl is not None else default_psl())
+        else:
+            key_fn = self.key_fn
+        filter_fn = self.filter_fn
+        if self.cache_key_attr is not None and filter_fn is None:
+            attr = self.cache_key_attr
+            cache = {}
+
+            def extract(txn):
+                value = getattr(txn, attr)
+                try:
+                    return cache[value]
+                except KeyError:
+                    pass
+                if len(cache) >= cache_limit:
+                    cache.clear()
+                key = key_fn(txn)
+                cache[value] = key
+                return key
+
+            return extract
+        if filter_fn is not None:
+            def extract(txn):
+                if not filter_fn(txn):
+                    return None
+                return key_fn(txn)
+
+            return extract
+        return key_fn
 
     def __repr__(self):
         return "DatasetSpec(%r, k=%d)" % (self.name, self.k)
@@ -70,12 +131,34 @@ def key_etld(txn, _psl=None):
     return psl.effective_tld(txn.qname)
 
 
+def key_etld_factory(psl):
+    """PSL-bound eTLD extractor (hot-path specialization)."""
+    effective_tld = psl.effective_tld
+
+    def key(txn):
+        return effective_tld(txn.qname)
+
+    return key
+
+
 def key_esld(txn, _psl=None):
     """Effective SLD of the QNAME; falls back to the eTLD for names
     that are themselves public suffixes (so the traffic is not lost)."""
     psl = _psl if _psl is not None else default_psl()
     esld = psl.effective_sld(txn.qname)
     return esld if esld is not None else psl.effective_tld(txn.qname)
+
+
+def key_esld_factory(psl):
+    """PSL-bound eSLD extractor (hot-path specialization)."""
+    effective_sld = psl.effective_sld
+    effective_tld = psl.effective_tld
+
+    def key(txn):
+        esld = effective_sld(txn.qname)
+        return esld if esld is not None else effective_tld(txn.qname)
+
+    return key
 
 
 def key_qtype(txn):
@@ -121,16 +204,19 @@ DATASETS = {
         description="Top authoritative nameserver IPs"),
     "etld": DatasetSpec(
         "etld", key_etld, k=500,
-        description="Top effective TLDs (incl. NXDOMAIN)"),
+        description="Top effective TLDs (incl. NXDOMAIN)",
+        key_factory=key_etld_factory, cache_key_attr="qname"),
     "esld": DatasetSpec(
         "esld", key_esld, k=3000,
-        description="Top effective SLDs"),
+        description="Top effective SLDs",
+        key_factory=key_esld_factory, cache_key_attr="qname"),
     "qname": DatasetSpec(
         "qname", key_qname, k=5000,
         description="Top FQDNs"),
     "qtype": DatasetSpec(
         "qtype", key_qtype, k=64,
-        description="All QTYPE aggregations"),
+        description="All QTYPE aggregations",
+        cache_key_attr="qtype"),
     "rcode": DatasetSpec(
         "rcode", key_rcode, k=16,
         description="All RCODE aggregations"),
@@ -147,4 +233,6 @@ def make_dataset(name, k=None):
     """Return a copy of the registered spec, optionally resized."""
     base = DATASETS[name]
     return DatasetSpec(base.name, base.key_fn, k if k is not None else base.k,
-                       base.description, base.filter_fn)
+                       base.description, base.filter_fn,
+                       key_factory=base.key_factory,
+                       cache_key_attr=base.cache_key_attr)

@@ -86,12 +86,31 @@ class Observatory:
         """Process one summarized transaction."""
         return self.windows.observe(txn)
 
-    def consume(self, transactions):
-        """Process an iterable of transactions; returns self."""
-        observe = self.windows.observe
+    def consume(self, transactions, batch_size=1024):
+        """Process an iterable of transactions; returns self.
+
+        Internally chunks the iterable and runs the
+        :meth:`WindowManager.consume_batch` fast path, which hoists
+        window-boundary checks out of the per-transaction loop.
+        """
+        consume_batch = self.windows.consume_batch
+        if isinstance(transactions, list):
+            consume_batch(transactions)
+            return self
+        buffer = []
+        append = buffer.append
         for txn in transactions:
-            observe(txn)
+            append(txn)
+            if len(buffer) >= batch_size:
+                consume_batch(buffer)
+                buffer.clear()
+        if buffer:
+            consume_batch(buffer)
         return self
+
+    def consume_batch(self, txns):
+        """Process a time-ordered list of transactions (fast path)."""
+        return self.windows.consume_batch(txns)
 
     def ingest_packets(self, query_packet, response_packet, query_ts,
                        response_ts=None, source="src0"):

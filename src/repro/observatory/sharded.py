@@ -1,0 +1,500 @@
+"""Sharded batch ingest engine: scale-out of the Figure 1 pipeline.
+
+The paper's deployment sustains a peak of 200 k transactions/second by
+running compiled code across machines (§2.1).  A single pure-Python
+:class:`~repro.observatory.pipeline.Observatory` floors well below
+that, so this module partitions the transaction stream by key-hash
+across N worker processes, each running a full Observatory over its
+shard, and merges the per-shard window state back into the exact same
+:class:`~repro.observatory.window.WindowDump` / TSV output the
+single-process path produces.
+
+Architecture::
+
+    stream ──► ShardedObservatory (coordinator)
+                 │  crc32(resolver|server) % N, batches of ~512 txns
+                 ├────────► worker 0: Observatory over shard 0
+                 ├────────► worker 1: Observatory over shard 1
+                 │              ...
+                 │  at every 60 s boundary: broadcast ("cut", ts),
+                 │  collect one ShardWindowState per dataset per shard
+                 └──◄─────  merge sketches ──► WindowDump ──► TSV
+
+    Workers never see a transaction from the next window before the
+    cut for the previous one: the coordinator detects boundaries in
+    the time-ordered stream, flushes all pending batches, and only
+    then dispatches newer transactions.  Every worker window is
+    therefore aligned to the same global grid.
+
+Merge semantics (why the output matches the single-process path):
+
+* **Space-Saving rank.**  Each shard ships its entries' decayed rate
+  estimates evaluated at the window end, so values from caches with
+  different forward-decay landmarks are directly comparable.  Rates
+  of the same key add across shards (the mergeable-summaries union of
+  Agarwal et al., PODS 2012); the error bounds add the same way, so
+  the merged overestimate is at most the sum of the per-shard errors.
+  A key hot enough for the global Top-k is hot enough for at least
+  one shard's cache, so true heavy hitters are never lost.
+* **Features.**  Counters, running means and histograms add exactly;
+  HyperLogLog registers merge by maximum, yielding byte-identical
+  registers to a single-pass sketch (cardinalities agree within the
+  estimator's standard error); top-TTL counters merge with the usual
+  Space-Saving overestimate.
+* **Survived-one-window rule (§2.4).**  Insertion times take the
+  minimum across shards before the rule is applied, matching the
+  single cache's notion of "first seen".
+
+With the default partition key ``resolver|server`` every dataset's
+keys are spread over all shards and recombined by the merge; datasets
+keyed by the partition key itself (``srcsrv``) are trivially exact.
+
+What *can* differ from the single-process path:
+
+* **Capture ratios and the ``kept`` stat.**  Every shard pays its own
+  first-sighting miss per key, and each shard's cache holds ``k``
+  entries (``N * k`` total), so per-shard caches saturate later and
+  the Bloom eviction gates fire less often than one global cache's.
+  Both effects only make the sharded path track *more*, never less.
+* **Deep tail under heavy saturation.**  Once per-shard caches evict,
+  per-shard gate/eviction decisions are taken on disjoint stream
+  subsets, so ranks far below the Top-k head may reorder.  The head
+  itself is stable: a globally heavy key is heavy in some shard.
+"""
+
+import logging
+import multiprocessing
+import zlib
+
+from repro.observatory.pipeline import Observatory
+from repro.observatory.tsv import write_tsv
+from repro.observatory.window import WindowDump, align_window
+
+logger = logging.getLogger(__name__)
+
+#: transactions per queue message; amortizes pickling + queue overhead
+DEFAULT_BATCH_SIZE = 512
+
+
+def partition_srcsrv(txn):
+    """Default partition key: the (resolver, nameserver) pair.
+
+    Finer than either IP alone, so hot servers do not pin a whole
+    shard; the mergeable sketches recombine the split datasets.
+    """
+    return txn.resolver_ip + "|" + txn.server_ip
+
+
+def partition_srvip(txn):
+    """Partition by nameserver IP (makes the srvip dataset exact)."""
+    return txn.server_ip
+
+
+def partition_qname(txn):
+    """Partition by QNAME (makes the qname dataset exact)."""
+    return txn.qname
+
+
+PARTITIONS = {
+    "srcsrv": partition_srcsrv,
+    "srvip": partition_srvip,
+    "qname": partition_qname,
+}
+
+
+def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw):
+    """Worker main loop: a full Observatory over one stream shard.
+
+    Speaks a tiny message protocol on *in_q*:
+
+    * ``("batch", [txn, ...])`` -- ingest a window-aligned batch;
+    * ``("cut", ts)`` -- the global stream crossed *ts*; flush every
+      window ending at or before it and ship the collected
+      :class:`ShardWindowState` list back on *out_q*;
+    * ``("finish",)`` -- flush the partial tail window, ship the
+      remaining states plus final per-dataset statistics, and exit.
+    """
+    try:
+        states = []
+        obs = Observatory(datasets=specs, window_seconds=window_seconds,
+                          keep_dumps=False, **obs_kw)
+        obs.windows.state_sink = states.append
+        consume_batch = obs.windows.consume_batch
+        while True:
+            message = in_q.get()
+            tag = message[0]
+            if tag == "batch":
+                consume_batch(message[1])
+            elif tag == "cut":
+                obs.windows.advance_to(message[1])
+                out_q.put(("states", shard_id, list(states)))
+                del states[:]  # state_sink stays bound to this list
+            elif tag == "finish":
+                obs.windows.flush()
+                stats = {
+                    "total_seen": obs.total_seen,
+                    "datasets": {
+                        name: {
+                            "filtered": tracker.filtered,
+                            "processed": tracker.processed,
+                            "offered": tracker.cache.offered,
+                            "tracked_hits": tracker.cache.tracked_hits,
+                            "gated": tracker.cache.gated,
+                            "evictions": tracker.cache.evictions,
+                        }
+                        for name, tracker in
+                        ((n, obs.tracker(n)) for n in obs.datasets)
+                    },
+                }
+                out_q.put(("final", shard_id, list(states), stats))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ValueError("unknown message tag %r" % (tag,))
+    except Exception:  # pragma: no cover - exercised via parent raise
+        import traceback
+        out_q.put(("error", shard_id, traceback.format_exc()))
+
+
+class ShardedObservatory:
+    """Scale-out Observatory: N worker processes + sketch merging.
+
+    Drop-in for :class:`Observatory` on the ingest side: ``ingest``,
+    ``consume`` / ``consume_batch``, ``finish``, ``dumps``,
+    ``capture_ratios`` (after ``finish``) all behave the same; the
+    merged window dumps and TSV files match the single-process output
+    (exactly for counters, within standard error for cardinalities).
+
+    Parameters
+    ----------
+    shards:
+        Number of worker processes.
+    datasets / window_seconds / output_dir / keep_dumps:
+        As for :class:`Observatory`.
+    tau / use_bloom_gate / hll_precision / skip_recent_inserts:
+        Tracker knobs, forwarded to every worker.
+    batch_size:
+        Transactions per queue message.
+    partition:
+        Partition key: a name from :data:`PARTITIONS` or a callable
+        ``txn -> str``.
+    mp_context:
+        ``multiprocessing`` context or start-method name; defaults to
+        ``fork`` where available (cheap worker startup).
+    timeout:
+        Seconds to wait for any single worker reply before declaring
+        the run dead.
+    """
+
+    def __init__(self, shards=2, datasets=("srvip",), window_seconds=60.0,
+                 output_dir=None, keep_dumps=True, sink=None, tau=300.0,
+                 use_bloom_gate=True, hll_precision=8,
+                 skip_recent_inserts=True, batch_size=DEFAULT_BATCH_SIZE,
+                 partition="srcsrv", mp_context=None, timeout=300.0):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = int(shards)
+        self.window_seconds = float(window_seconds)
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.output_dir = output_dir
+        self.keep_dumps = keep_dumps
+        self.sink = sink
+        self.skip_recent_inserts = skip_recent_inserts
+        self.batch_size = int(batch_size)
+        self.timeout = timeout
+        if callable(partition):
+            self._partition = partition
+        else:
+            self._partition = PARTITIONS[partition]
+        self._specs = [Observatory._resolve(item) for item in datasets]
+        names = [spec.name for spec in self._specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate dataset in %r" % (names,))
+        self._dataset_order = names
+        self._k = {spec.name: spec.k for spec in self._specs}
+        self.dumps = {name: [] for name in names}
+        self._window_start = None
+        self._buffers = [[] for _ in range(self.shards)]
+        #: transactions ingested so far
+        self.total_seen = 0
+        #: completed (merged and emitted) windows
+        self.windows_completed = 0
+        self._final_stats = None
+        self._closed = False
+        obs_kw = dict(tau=tau, use_bloom_gate=use_bloom_gate,
+                      hll_precision=hll_precision,
+                      skip_recent_inserts=skip_recent_inserts)
+        context = self._resolve_context(mp_context)
+        self._out_q = context.Queue()
+        self._in_qs = []
+        self._workers = []
+        try:
+            for shard_id in range(self.shards):
+                in_q = context.Queue()
+                worker = context.Process(
+                    target=_shard_worker,
+                    args=(shard_id, in_q, self._out_q, self._specs,
+                          self.window_seconds, obs_kw),
+                    daemon=True,
+                    name="observatory-shard-%d" % shard_id,
+                )
+                worker.start()
+                self._in_qs.append(in_q)
+                self._workers.append(worker)
+        except Exception:
+            self.close()
+            raise
+
+    @staticmethod
+    def _resolve_context(mp_context):
+        if mp_context is not None:
+            if isinstance(mp_context, str):
+                return multiprocessing.get_context(mp_context)
+            return mp_context
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(self, txn):
+        """Route one transaction to its shard.  Returns the merged
+        WindowDumps of any boundary this transaction crossed."""
+        return self.consume_batch((txn,))
+
+    def consume_batch(self, txns):
+        """Route a time-ordered batch of transactions to the shards.
+
+        Window boundaries inside the batch trigger a cut-and-merge
+        barrier, exactly like the single-process path flushing
+        mid-batch.  Returns the merged WindowDumps produced.
+        """
+        dumps = []
+        if self._closed:
+            raise RuntimeError("ShardedObservatory is closed")
+        window_seconds = self.window_seconds
+        shards = self.shards
+        partition = self._partition
+        buffers = self._buffers
+        batch_size = self.batch_size
+        crc32 = zlib.crc32
+        start = self._window_start
+        end = None if start is None else start + window_seconds
+        for txn in txns:
+            ts = txn.ts
+            if end is None:
+                start = align_window(ts, window_seconds)
+                end = start + window_seconds
+                self._window_start = start
+            elif ts >= end:
+                dumps.extend(self._cut(align_window(ts, window_seconds)))
+                start = self._window_start
+                end = start + window_seconds
+            buffer = buffers[crc32(partition(txn).encode()) % shards]
+            buffer.append(txn)
+            if len(buffer) >= batch_size:
+                self._dispatch_all()
+            self.total_seen += 1
+        return dumps
+
+    def consume(self, transactions, batch_size=4096):
+        """Process an iterable of transactions; returns self."""
+        buffer = []
+        append = buffer.append
+        for txn in transactions:
+            append(txn)
+            if len(buffer) >= batch_size:
+                self.consume_batch(buffer)
+                buffer.clear()
+        if buffer:
+            self.consume_batch(buffer)
+        return self
+
+    def finish(self):
+        """Flush the tail window, collect and merge final worker
+        state, and shut the workers down.  Returns the merged dumps of
+        the remaining windows (like :meth:`Observatory.finish`)."""
+        if self._closed:
+            return []
+        self._dispatch_all(force=True)
+        for in_q in self._in_qs:
+            in_q.put(("finish",))
+        states = []
+        final_stats = {}
+        for _ in range(self.shards):
+            reply = self._next_reply(expect="final")
+            _, shard_id, shard_states, stats = reply
+            states.extend(shard_states)
+            final_stats[shard_id] = stats
+        self._final_stats = final_stats
+        dumps = self._merge_and_emit(states)
+        self.close()
+        logger.info(
+            "ShardedObservatory finished: %d transactions over %d windows "
+            "across %d shards; capture ratios %s",
+            self.total_seen, self.windows_completed, self.shards,
+            {name: round(ratio, 3)
+             for name, ratio in self.capture_ratios().items()})
+        return dumps
+
+    def close(self):
+        """Terminate workers and release queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.is_alive():
+                worker.terminate()
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        for queue in self._in_qs + [self._out_q]:
+            queue.close()
+            queue.cancel_join_thread()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Coordinator internals
+    # ------------------------------------------------------------------
+
+    def _dispatch_all(self, force=False):
+        """Ship every non-empty shard buffer (all of them when a cut
+        or finish needs the workers fully caught up)."""
+        for shard_id, buffer in enumerate(self._buffers):
+            if buffer and (force or len(buffer) >= self.batch_size):
+                self._in_qs[shard_id].put(("batch", buffer))
+                self._buffers[shard_id] = []
+
+    def _cut(self, new_start):
+        """Barrier at a window boundary: flush batches, have every
+        worker advance to *new_start*, merge the returned states."""
+        self._dispatch_all(force=True)
+        for in_q in self._in_qs:
+            in_q.put(("cut", new_start))
+        states = []
+        for _ in range(self.shards):
+            reply = self._next_reply(expect="states")
+            states.extend(reply[2])
+        self._window_start = new_start
+        return self._merge_and_emit(states)
+
+    def _next_reply(self, expect):
+        reply = self._out_q.get(timeout=self.timeout)
+        if reply[0] == "error":
+            tb = reply[2]
+            self.close()
+            raise RuntimeError("shard %d failed:\n%s" % (reply[1], tb))
+        if reply[0] != expect:  # pragma: no cover - protocol bug guard
+            raise RuntimeError("expected %r reply, got %r" % (expect, reply[0]))
+        return reply
+
+    def _merge_and_emit(self, states):
+        """Group shard states by (window, dataset), merge each group
+        into a WindowDump, and emit in stream order."""
+        grouped = {}
+        for state in states:
+            grouped.setdefault((state.start_ts, state.dataset), []).append(state)
+        dumps = []
+        starts = sorted({start for start, _ in grouped})
+        for start in starts:
+            for dataset in self._dataset_order:
+                group = grouped.get((start, dataset))
+                if group is None:
+                    continue
+                dumps.append(self._merge_window(dataset, start, group))
+            self.windows_completed += 1
+        for dump in dumps:
+            if self.keep_dumps:
+                self.dumps[dump.dataset].append(dump)
+            if self.output_dir is not None:
+                write_tsv(self.output_dir, dump.to_timeseries("minutely"))
+            if self.sink is not None:
+                self.sink(dump)
+        return dumps
+
+    def _merge_window(self, dataset, start, shard_states):
+        """The mergeable-summaries union of one dataset's window."""
+        merged = {}
+        seen = 0
+        kept = 0
+        for state in shard_states:
+            seen += state.stats["seen"]
+            kept += state.stats["kept"]
+            for key, rate, error, inserted_at, hits, features in state.entries:
+                current = merged.get(key)
+                if current is None:
+                    merged[key] = [rate, error, inserted_at, hits, features]
+                else:
+                    current[0] += rate
+                    current[1] += error
+                    if inserted_at < current[2]:
+                        current[2] = inserted_at
+                    current[3] += hits
+                    current[4].merge(features)
+        # A key may be long-tracked in a shard that happened to be
+        # idle for it this window.  Honor that shard's insertion time
+        # (survived-one-window rule) and fold its accumulated weight
+        # into the rank: the single cache orders by lifetime decayed
+        # weight, so the merged rate must include idle shards too.
+        for state in shard_states:
+            for key, inserted_at, rate in state.inserted:
+                current = merged.get(key)
+                if current is None:
+                    continue
+                current[0] += rate
+                if inserted_at < current[2]:
+                    current[2] = inserted_at
+        candidates = []
+        skip_recent = self.skip_recent_inserts
+        for key, (rate, _error, inserted_at, _hits, features) in merged.items():
+            if skip_recent and inserted_at > start:
+                continue  # did not survive a full window yet (§2.4)
+            candidates.append((key, rate, features))
+        candidates.sort(key=lambda item: (-item[1], item[0]))
+        rows = [(key, features.as_row())
+                for key, _rate, features in candidates[:self._k[dataset]]]
+        return WindowDump(dataset, start, rows,
+                          {"seen": seen, "kept": kept})
+
+    # ------------------------------------------------------------------
+    # Introspection (mirrors Observatory)
+    # ------------------------------------------------------------------
+
+    @property
+    def datasets(self):
+        return list(self._dataset_order)
+
+    def capture_ratios(self):
+        """Per-dataset capture ratios summed over all shards.
+
+        Available once :meth:`finish` has collected worker statistics.
+        """
+        if self._final_stats is None:
+            raise RuntimeError("capture_ratios() requires finish() first")
+        ratios = {}
+        for name in self._dataset_order:
+            offered = 0
+            tracked = 0
+            for stats in self._final_stats.values():
+                dataset_stats = stats["datasets"][name]
+                offered += dataset_stats["offered"]
+                tracked += dataset_stats["tracked_hits"]
+            ratios[name] = tracked / offered if offered else 0.0
+        return ratios
+
+    def shard_stats(self):
+        """Raw per-shard tracker statistics (after :meth:`finish`)."""
+        if self._final_stats is None:
+            raise RuntimeError("shard_stats() requires finish() first")
+        return dict(self._final_stats)
+
+    def __repr__(self):
+        return "ShardedObservatory(shards=%d, datasets=%r)" % (
+            self.shards, self._dataset_order)

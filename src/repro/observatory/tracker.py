@@ -10,6 +10,7 @@ particular DNS object from the SS cache, or being dropped in case the
 corresponding object is not in the cache." (Section 2.3.)
 """
 
+from repro.dnswire.psl import default_psl
 from repro.observatory.features import FeatureSet
 from repro.sketches.bloom import RotatingBloomFilter
 from repro.sketches.spacesaving import SpaceSaving
@@ -42,7 +43,10 @@ class TopKTracker:
             )
         self.cache = SpaceSaving(capacity=spec.k, tau=tau, gate=gate)
         self._hll_precision = hll_precision
-        self._psl = psl
+        self._psl = psl if psl is not None else default_psl()
+        #: the specialized key extractor (PSL bound, memoized where
+        #: the spec declares the key a function of one txn attribute)
+        self._extract = spec.make_extractor(self._psl)
         #: transactions skipped by the dataset pre-filter
         self.filtered = 0
         #: transactions processed (offered to the SS cache)
@@ -54,7 +58,7 @@ class TopKTracker:
         *hashes* is an optional shared
         :class:`~repro.observatory.features.TxnHashes` (see there).
         """
-        key = self.spec.extract(txn)
+        key = self._extract(txn)
         if key is None:
             self.filtered += 1
             return None

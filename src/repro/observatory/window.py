@@ -8,8 +8,27 @@ object in the data dump, this means it survived the SS cache eviction
 for 60 seconds."
 """
 
+import math
+
 from repro.observatory.features import TxnHashes
 from repro.observatory.tsv import TimeSeriesData
+
+
+def align_window(ts, window_seconds):
+    """Align *ts* down to its window's start on the global grid.
+
+    Works for fractional window lengths (the integer-division variant
+    raised ``ZeroDivisionError`` for ``window_seconds < 1``).  Integral
+    results are returned as ints so TSV filenames and existing
+    comparisons keep their exact integer timestamps.
+    """
+    start = math.floor(ts / window_seconds) * window_seconds
+    return _as_int_if_integral(start)
+
+
+def _as_int_if_integral(value):
+    i = int(value)
+    return i if i == value else value
 
 
 class WindowDump:
@@ -40,6 +59,45 @@ class WindowDump:
         return len(self.rows)
 
 
+class ShardWindowState:
+    """One dataset's *mergeable* window state from one ingest shard.
+
+    Where :class:`WindowDump` carries flattened feature rows, this
+    carries the raw per-object state a shard accumulated during one
+    window -- everything the parent process needs to combine
+    independently built shard summaries into the exact-enough global
+    Top-k: the decayed rate estimate and its Space-Saving error bound
+    (both converted to events/second at the window end, so values from
+    shards with different decay landmarks are directly comparable),
+    the insertion time (for the §2.4 survived-one-window rule, applied
+    only after taking the minimum across shards), the exact hit count,
+    and the live :class:`FeatureSet`, detached so it can be shipped
+    over a process boundary without copying.
+    """
+
+    __slots__ = ("dataset", "start_ts", "entries", "inserted", "stats")
+
+    def __init__(self, dataset, start_ts, entries, inserted, stats):
+        self.dataset = dataset
+        #: window start (virtual seconds), same grid as WindowDump
+        self.start_ts = start_ts
+        #: list of (key, rate, error_rate, inserted_at, hits, FeatureSet)
+        self.entries = entries
+        #: live-but-idle cache entries, as ``(key, inserted_at, rate)``
+        #: triples.  A key can be long-tracked (and heavy) in one shard
+        #: yet see traffic only in another during this window; without
+        #: these, the merged minimum insertion time would misapply the
+        #: survived-one-window rule, and the merged rank would drop the
+        #: idle shard's accumulated weight (the single cache ranks by
+        #: *lifetime* decayed weight, so the merge must too).
+        self.inserted = inserted
+        #: {"seen": ..., "kept": ...} -- this shard's share
+        self.stats = stats
+
+    def __len__(self):
+        return len(self.entries)
+
+
 class WindowManager:
     """Drive a set of trackers through fixed time windows.
 
@@ -54,19 +112,28 @@ class WindowManager:
     trackers:
         Iterable of :class:`~repro.observatory.tracker.TopKTracker`.
     window_seconds:
-        Window length; the paper uses 60 s.
+        Window length; the paper uses 60 s.  Fractional lengths are
+        supported (sub-second windows are used in tests).
     skip_recent_inserts:
         Enforce the survived-one-window rule.  Disabling it is the
         ablation knob discussed in DESIGN.md.
+    state_sink:
+        When set, window boundaries produce mergeable
+        :class:`ShardWindowState` objects (one per tracker, passed to
+        this callable) *instead of* row dumps -- the shard-worker mode
+        of :mod:`repro.observatory.sharded`.  The survived-one-window
+        rule is **not** applied in this mode; the merging side applies
+        it after combining insertion times across shards.
     """
 
     def __init__(self, trackers, window_seconds=60.0, sink=None,
-                 skip_recent_inserts=True):
+                 skip_recent_inserts=True, state_sink=None):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         self.trackers = list(trackers)
         self.window_seconds = float(window_seconds)
         self.sink = sink
+        self.state_sink = state_sink
         self.skip_recent_inserts = skip_recent_inserts
         self._window_start = None
         self._seen_in_window = 0
@@ -98,6 +165,72 @@ class WindowManager:
                 self._kept_in_window[tracker.spec.name] += 1
         return dumps
 
+    def consume_batch(self, txns):
+        """Feed a time-ordered batch of transactions (the fast path).
+
+        Equivalent to calling :meth:`observe` per transaction, but the
+        window-boundary check is hoisted out of the inner loop: the
+        batch is split into window-aligned segments up front, and each
+        segment runs through a tight loop with the tracker methods
+        pre-bound.  Returns the WindowDumps of all boundaries crossed.
+        """
+        dumps = []
+        n = len(txns)
+        if not n:
+            return dumps
+        if self._window_start is None:
+            self._window_start = self._align(txns[0].ts)
+        trackers = self.trackers
+        observes = [t.observe for t in trackers]
+        names = [t.spec.name for t in trackers]
+        n_trackers = len(observes)
+        tracker_range = range(n_trackers)
+        window_seconds = self.window_seconds
+        kept = [0] * n_trackers
+        i = 0
+        while i < n:
+            end = self._window_start + window_seconds
+            # Longest run [i, j) entirely inside the current window.
+            j = i
+            while j < n and txns[j].ts < end:
+                j += 1
+            for txn in txns[i:j]:
+                hashes = TxnHashes(txn)
+                for t in tracker_range:
+                    if observes[t](txn, hashes) is not None:
+                        kept[t] += 1
+            count = j - i
+            self.total_seen += count
+            self._seen_in_window += count
+            i = j
+            if i < n:
+                kept_map = self._kept_in_window
+                for t in tracker_range:
+                    if kept[t]:
+                        kept_map[names[t]] += kept[t]
+                        kept[t] = 0
+                dumps.extend(self._flush())
+        kept_map = self._kept_in_window
+        for t in tracker_range:
+            if kept[t]:
+                kept_map[names[t]] += kept[t]
+        return dumps
+
+    def advance_to(self, ts):
+        """Flush every window that ends at or before *ts*.
+
+        Used by shard workers when the coordinator announces that the
+        global stream has crossed a boundary this shard's own subset
+        has not reached (or never will, for an idle shard).  A manager
+        that has seen no transactions yet stays unstarted.
+        """
+        dumps = []
+        if self._window_start is None:
+            return dumps
+        while ts >= self._window_start + self.window_seconds:
+            dumps.extend(self._flush())
+        return dumps
+
     def flush(self):
         """Force a dump of the current (possibly partial) window.
 
@@ -110,9 +243,11 @@ class WindowManager:
     # ------------------------------------------------------------------
 
     def _align(self, ts):
-        return (int(ts) // int(self.window_seconds)) * int(self.window_seconds)
+        return align_window(ts, self.window_seconds)
 
     def _flush(self):
+        if self.state_sink is not None:
+            return self._flush_state()
         start = self._window_start
         dumps = []
         for tracker in self.trackers:
@@ -133,7 +268,48 @@ class WindowManager:
                 self.sink(dump)
             tracker.reset_window_stats()
             self._kept_in_window[tracker.spec.name] = 0
-        self._seen_in_window = 0
-        self._window_start = start + int(self.window_seconds)
-        self.windows_completed += 1
+        self._advance_window(start)
         return dumps
+
+    def _flush_state(self):
+        """Shard-worker flush: emit mergeable per-tracker state.
+
+        Active FeatureSets are detached (``entry.state = None``)
+        rather than cleared in place, so the emitted objects can cross
+        a process boundary while the tracker keeps running.
+        """
+        start = self._window_start
+        end = start + self.window_seconds
+        for tracker in self.trackers:
+            cache = tracker.cache
+            entries = []
+            inserted = []
+            for entry in cache:
+                state = entry.state
+                if state is None or state.hits == 0:
+                    inserted.append((entry.key, entry.inserted_at,
+                                     cache.rate(entry, end)))
+                    continue
+                entries.append((
+                    entry.key,
+                    cache.rate(entry, end),
+                    cache.decay.rate(entry.error, end),
+                    entry.inserted_at,
+                    entry.hits,
+                    state,
+                ))
+                entry.state = None  # detach; fresh stats next window
+            stats = {
+                "seen": self._seen_in_window,
+                "kept": self._kept_in_window[tracker.spec.name],
+            }
+            self.state_sink(ShardWindowState(
+                tracker.spec.name, start, entries, inserted, stats))
+            self._kept_in_window[tracker.spec.name] = 0
+        self._advance_window(start)
+        return []
+
+    def _advance_window(self, start):
+        self._window_start = _as_int_if_integral(start + self.window_seconds)
+        self._seen_in_window = 0
+        self.windows_completed += 1

@@ -64,8 +64,20 @@ class ForwardDecay:
         Every weight accumulated under the previous landmark must be
         multiplied by the returned factor to stay consistent.
         """
-        factor = math.exp((self.landmark - now) / self.tau)
-        self.landmark = now
+        return self.rebase(now)
+
+    def rebase(self, landmark):
+        """Move the landmark to an arbitrary point and return the
+        weight rescale factor.
+
+        Weights accumulated under two different landmarks are not
+        directly comparable; rebasing both decays onto the same
+        landmark (and rescaling their stored weights by the returned
+        factors) makes them so.  This is what allows independently
+        built Space-Saving caches to be merged.
+        """
+        factor = math.exp((self.landmark - landmark) / self.tau)
+        self.landmark = float(landmark)
         return factor
 
 

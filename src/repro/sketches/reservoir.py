@@ -31,6 +31,48 @@ class ReservoirSample:
         if j < self.size:
             self._items[j] = item
 
+    def merge(self, other):
+        """Fold *other* into this reservoir, preserving uniformity.
+
+        Implements the standard distributed-reservoir merge: each
+        output slot simulates drawing one element without replacement
+        from the concatenated stream -- pick a side with probability
+        proportional to its remaining stream mass, pop a uniformly
+        random item from that side's reservoir, and deduct exactly one
+        element from the chosen side's mass (the popped item stands in
+        for one stream element; the items left behind remain a uniform
+        sample of that side's remaining elements).  Per-shard
+        reservoirs therefore combine into a valid uniform sample of
+        the full stream.
+
+        Uses this reservoir's RNG; returns self.
+        """
+        if not isinstance(other, ReservoirSample):
+            raise TypeError("can only merge ReservoirSample instances")
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self._items = list(other._items)
+            self.count = other.count
+            return self
+        mine = list(self._items)
+        theirs = list(other._items)
+        mass_mine = float(self.count)
+        mass_theirs = float(other.count)
+        rng = self._rng
+        merged = []
+        while len(merged) < self.size and (mine or theirs):
+            total = mass_mine + mass_theirs
+            if mine and (not theirs or rng.random() * total < mass_mine):
+                mass_mine -= 1.0
+                merged.append(mine.pop(rng.randrange(len(mine))))
+            else:
+                mass_theirs -= 1.0
+                merged.append(theirs.pop(rng.randrange(len(theirs))))
+        self._items = merged
+        self.count += other.count
+        return self
+
     def items(self):
         """Return the current sample (list copy, insertion order)."""
         return list(self._items)

@@ -1,0 +1,293 @@
+"""Mergeability tests for the sketch layer.
+
+The sharded ingest engine (:mod:`repro.observatory.sharded`) splits
+one stream across workers and recombines their summaries, so every
+sketch must satisfy the mergeable-summaries contract (Agarwal et al.,
+PODS 2012): ``merge(A, B)`` over a split stream agrees with a
+single-pass sketch over the concatenated stream -- exactly for the
+counter-style sketches, within documented error bounds for the
+approximate ones.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.ewma import ForwardDecay
+from repro.sketches.histogram import LogHistogram, RunningMean
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.reservoir import ReservoirSample
+from repro.sketches.spacesaving import SpaceSaving
+from repro.sketches.topvalues import TopValues
+
+# A stream of (value, side) pairs: *side* says which of the two
+# sketches the value is fed to before merging.
+split_streams = st.lists(
+    st.tuples(st.integers(0, 25), st.booleans()),
+    min_size=1, max_size=300,
+)
+
+
+def _split(stream):
+    left = [v for v, side in stream if side]
+    right = [v for v, side in stream if not side]
+    return left, right
+
+
+# -- ForwardDecay -------------------------------------------------------
+
+def test_rebase_preserves_rates():
+    decay = ForwardDecay(tau=30.0)
+    weight = decay.weight(100.0) + decay.weight(130.0)
+    before = decay.rate(weight, 200.0)
+    factor = decay.rebase(150.0)
+    assert decay.landmark == 150.0
+    after = decay.rate(weight * factor, 200.0)
+    assert after == pytest.approx(before, rel=1e-12)
+
+
+def test_rebase_makes_landmarks_comparable():
+    a = ForwardDecay(tau=10.0)
+    b = ForwardDecay(tau=10.0)
+    b.rebase(50.0)  # b accumulates under a later landmark
+    wa = a.weight(60.0)
+    wb = b.weight(60.0)
+    # Same observation time must yield the same rate from either side.
+    assert a.rate(wa, 60.0) == pytest.approx(b.rate(wb, 60.0), rel=1e-12)
+
+
+# -- LogHistogram / RunningMean (exact merges) --------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(split_streams)
+def test_histogram_merge_matches_single_pass(stream):
+    left, right = _split(stream)
+    a, b, whole = LogHistogram(), LogHistogram(), LogHistogram()
+    for v in left:
+        a.add(v)
+    for v in right:
+        b.add(v)
+    for v, _ in stream:
+        whole.add(v)
+    a.merge(b)
+    assert a.buckets() == whole.buckets()
+    assert a.count == whole.count
+    for q in (0.25, 0.5, 0.75):
+        assert a.quantile(q) == whole.quantile(q)
+
+
+@settings(max_examples=50, deadline=None)
+@given(split_streams)
+def test_running_mean_merge_matches_single_pass(stream):
+    left, right = _split(stream)
+    a, b, whole = RunningMean(), RunningMean(), RunningMean()
+    for v in left:
+        a.add(v)
+    for v in right:
+        b.add(v)
+    for v, _ in stream:
+        whole.add(v)
+    a.merge(b)
+    assert a.count == whole.count
+    assert a.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-12)
+
+
+# -- TopValues ----------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(split_streams)
+def test_topvalues_merge_exact_below_capacity(stream):
+    """With capacity above the distinct-value count, counters never
+    recycle and the merge is exactly the concatenated distribution."""
+    left, right = _split(stream)
+    a, b, whole = TopValues(64), TopValues(64), TopValues(64)
+    for v in left:
+        a.add(v)
+    for v in right:
+        b.add(v)
+    for v, _ in stream:
+        whole.add(v)
+    a.merge(b)
+    assert a.total == whole.total
+    assert dict(a.distribution()) == dict(whole.distribution())
+
+
+def test_topvalues_merge_preserves_total_mass_when_full():
+    a, b = TopValues(4), TopValues(4)
+    for v in range(10):
+        a.add(v, count=v + 1)
+        b.add(v + 5, count=v + 1)
+    total = a.total + b.total
+    a.merge(b)
+    assert a.total == total
+    assert len(a.distribution()) <= a.max_values
+
+
+# -- HyperLogLog --------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(split_streams)
+def test_hll_merge_registers_match_single_pass(stream):
+    """Register-max merge is byte-identical to a single-pass sketch,
+    so merged cardinalities carry no extra error at all."""
+    left, right = _split(stream)
+    a, b, whole = (HyperLogLog(precision=8) for _ in range(3))
+    for v in left:
+        a.add("key-%d" % v)
+    for v in right:
+        b.add("key-%d" % v)
+    for v, _ in stream:
+        whole.add("key-%d" % v)
+    a.merge(b)
+    assert a.to_bytes() == whole.to_bytes()
+    assert a.cardinality() == whole.cardinality()
+
+
+def test_hll_merge_rejects_mismatched_precision():
+    with pytest.raises(ValueError):
+        HyperLogLog(precision=8).merge(HyperLogLog(precision=10))
+
+
+# -- SpaceSaving --------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(split_streams)
+def test_spacesaving_merge_exact_when_uncapped(stream):
+    """With enough capacity there are no evictions, and the undecayed
+    merged weights equal the true concatenated counts exactly."""
+    left, right = _split(stream)
+    kw = dict(capacity=64, tau=1e12)  # effectively no decay
+    a, b = SpaceSaving(**kw), SpaceSaving(**kw)
+    for v in left:
+        a.offer("k%d" % v, now=0.0)
+    for v in right:
+        b.offer("k%d" % v, now=0.0)
+    true = {}
+    for v, _ in stream:
+        true["k%d" % v] = true.get("k%d" % v, 0) + 1
+    a.merge(b)
+    assert len(a) == len(true)
+    for key, count in true.items():
+        entry = a.get(key)
+        assert entry.weight == pytest.approx(count, rel=1e-9)
+        assert entry.error == pytest.approx(0.0, abs=1e-9)
+        assert entry.hits == count
+
+
+@settings(max_examples=30, deadline=None)
+@given(split_streams)
+def test_spacesaving_merge_error_bound(stream):
+    """Small caches: the merged estimate still brackets the true count
+    (estimate >= true >= estimate - error) for every tracked key, and
+    any key heavier than N/k survives the merge."""
+    left, right = _split(stream)
+    k = 6
+    a = SpaceSaving(capacity=k, tau=1e12)
+    b = SpaceSaving(capacity=k, tau=1e12)
+    for v in left:
+        a.offer("k%d" % v, now=0.0)
+    for v in right:
+        b.offer("k%d" % v, now=0.0)
+    true = {}
+    for v, _ in stream:
+        true["k%d" % v] = true.get("k%d" % v, 0) + 1
+    a.merge(b)
+    assert len(a) <= k
+    n = len(stream)
+    for key, count in true.items():
+        entry = a.get(key)
+        if count > n / k:
+            assert entry is not None, "merged cache lost a heavy key"
+        if entry is not None:
+            assert entry.weight >= count - 1e-6
+            assert entry.weight - entry.error <= count + 1e-6
+
+
+def test_spacesaving_merge_rebases_landmarks():
+    """Caches whose decay landmarks drifted apart (e.g. one shard
+    renormalized) still merge into rates matching a single cache."""
+    tau = 5.0
+    a = SpaceSaving(capacity=8, tau=tau)
+    b = SpaceSaving(capacity=8, tau=tau)
+    whole = SpaceSaving(capacity=8, tau=tau)
+    # Force b's landmark far ahead via renormalization.
+    for t in (0.0, 2.0, 5000.0):
+        b.offer("x", now=t)
+        whole.offer("x", now=t)
+    for t in (1.0, 3.0, 4999.0):
+        a.offer("y", now=t)
+        whole.offer("y", now=t)
+    assert a.decay.landmark != b.decay.landmark
+    a.merge(b)
+    for key in ("x", "y"):
+        assert a.rate(key, now=5000.0) == \
+            pytest.approx(whole.rate(key, now=5000.0), rel=1e-9)
+
+
+def test_spacesaving_merge_sums_accounting():
+    a = SpaceSaving(capacity=4)
+    b = SpaceSaving(capacity=4)
+    for _ in range(5):
+        a.offer("a", now=0.0)
+    for _ in range(3):
+        b.offer("b", now=0.0)
+    a.merge(b)
+    assert a.offered == 8
+    assert a.tracked_hits == 4 + 2
+
+
+def test_spacesaving_merge_rejects_mismatched_tau():
+    with pytest.raises(ValueError):
+        SpaceSaving(capacity=4, tau=10.0).merge(
+            SpaceSaving(capacity=4, tau=20.0))
+
+
+def test_spacesaving_merge_rejects_non_cache():
+    with pytest.raises(TypeError):
+        SpaceSaving(capacity=4).merge(object())
+
+
+# -- ReservoirSample ----------------------------------------------------
+
+def test_reservoir_merge_counts_and_membership():
+    a = ReservoirSample(8, seed=1)
+    b = ReservoirSample(8, seed=2)
+    for i in range(30):
+        a.add(("a", i))
+    for i in range(50):
+        b.add(("b", i))
+    a.merge(b)
+    assert a.count == 80
+    assert len(a.items()) == 8
+    universe = {("a", i) for i in range(30)} | {("b", i) for i in range(50)}
+    assert set(a.items()) <= universe
+
+
+def test_reservoir_merge_empty_sides():
+    a = ReservoirSample(4, seed=0)
+    b = ReservoirSample(4, seed=0)
+    a.merge(b)
+    assert a.count == 0 and a.items() == []
+    for i in range(10):
+        b.add(i)
+    a.merge(b)
+    assert a.count == 10
+    assert sorted(a.items()) == sorted(b.items()) or len(a.items()) == 4
+
+
+def test_reservoir_merge_draws_proportionally():
+    """Statistical check: merging a 90/10 mass split yields roughly
+    90/10 representation in the merged sample (fixed seeds)."""
+    from_a = 0
+    trials = 300
+    for seed in range(trials):
+        a = ReservoirSample(10, seed=seed)
+        b = ReservoirSample(10, seed=seed + 10_000)
+        for i in range(900):
+            a.add("a")
+        for i in range(100):
+            b.add("b")
+        a.merge(b)
+        from_a += sum(1 for item in a.items() if item == "a")
+    share = from_a / (trials * 10)
+    assert 0.85 < share < 0.95

@@ -78,3 +78,29 @@ def test_report_command(tmp_path, capsys):
     assert "table1.csv" in names
     assert "fig9_happy_eyeballs.csv" in names
     assert "fig2_srvip.csv" in names
+
+
+def test_replay_sharded_matches_single(tmp_path, capsys):
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "8", "--duration", "130", "--qps", "20",
+          "-o", str(stream)])
+    single_dir = tmp_path / "single"
+    sharded_dir = tmp_path / "sharded"
+    rc = main(["replay", str(stream), str(single_dir),
+               "--datasets", "srvip", "qtype", "--k", "500"])
+    assert rc == 0
+    rc = main(["replay", str(stream), str(sharded_dir), "--shards", "2",
+               "--datasets", "srvip", "qtype", "--k", "500"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "(2 shards)" in out
+    import os
+
+    names = sorted(os.listdir(single_dir))
+    assert sorted(os.listdir(sharded_dir)) == names
+    for name in names:
+        single_rows = [l for l in (single_dir / name).read_text().splitlines()
+                       if not l.startswith("#stats")]
+        sharded_rows = [l for l in (sharded_dir / name).read_text().splitlines()
+                        if not l.startswith("#stats")]
+        assert sharded_rows == single_rows, name

@@ -57,9 +57,13 @@ def test_throughput_all_datasets(benchmark, transaction_batch):
     assert rate > 1000
 
 
+@pytest.mark.parametrize("transport", ["pickle", "binary"])
 @pytest.mark.parametrize("shards", [2, 4])
-def test_throughput_sharded(benchmark, transaction_batch, shards):
-    """All-datasets ingest through N worker processes.
+def test_throughput_sharded(benchmark, transaction_batch, shards,
+                            transport):
+    """All-datasets ingest through N worker processes, for both shard
+    transports (default pickle vs the binary line-block/out-of-band
+    codec).
 
     The >= 2x-over-single-process criterion only makes sense with
     real parallelism; on a single-core container the workers time-
@@ -68,7 +72,8 @@ def test_throughput_sharded(benchmark, transaction_batch, shards):
     """
     def ingest():
         obs = ShardedObservatory(shards=shards, datasets=ALL_DATASETS,
-                                 use_bloom_gate=False, keep_dumps=False)
+                                 use_bloom_gate=False, keep_dumps=False,
+                                 transport=transport)
         obs.consume(transaction_batch)
         obs.finish()
         return obs
@@ -76,11 +81,13 @@ def test_throughput_sharded(benchmark, transaction_batch, shards):
     obs = benchmark.pedantic(ingest, rounds=2, iterations=1)
     assert obs.total_seen == len(transaction_batch)
     rate = len(transaction_batch) / benchmark.stats["mean"]
+    name = ("throughput_sharded_%d" % shards if transport == "pickle"
+            else "throughput_sharded_%d_%s" % (shards, transport))
     save_result(
-        "throughput_sharded_%d" % shards,
-        "sharded pipeline (%d workers, %d cpu cores): %d txn/s "
-        "(%d transactions)" % (shards, CORES, rate,
-                               len(transaction_batch)))
+        name,
+        "sharded pipeline (%d workers, %s transport, %d cpu cores): "
+        "%d txn/s (%d transactions)" % (shards, transport, CORES, rate,
+                                        len(transaction_batch)))
     if CORES >= 2 * shards:
         single_rate = _single_process_rate(transaction_batch)
         assert rate >= 2 * single_rate, \

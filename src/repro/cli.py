@@ -77,6 +77,7 @@ def cmd_replay(args):
             datasets=datasets,
             output_dir=args.output_dir,
             window_seconds=args.window,
+            transport=args.transport,
         )
     else:
         obs = Observatory(
@@ -92,7 +93,8 @@ def cmd_replay(args):
     obs.finish()
     print("replayed %d transactions into %s%s" % (
         obs.total_seen, args.output_dir,
-        " (%d shards)" % args.shards if args.shards > 1 else ""))
+        " (%d shards, %s transport)" % (args.shards, args.transport)
+        if args.shards > 1 else ""))
     for name, ratio in sorted(obs.capture_ratios().items()):
         print("  %-8s capture %.1f%%" % (name, ratio * 100))
     return 0
@@ -196,6 +198,11 @@ def build_parser():
     p.add_argument("--shards", type=int, default=1, metavar="N",
                    help="ingest with N sharded worker processes "
                         "(1 = single-process)")
+    p.add_argument("--transport", choices=["pickle", "binary"],
+                   default="pickle",
+                   help="shard transport codec (with --shards > 1): "
+                        "default-pickle object graphs, or line-block "
+                        "batches + protocol-5 out-of-band sketch buffers")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="simulate and print the Big Picture")

@@ -30,6 +30,7 @@ from repro.observatory.pipeline import Observatory
 from repro.observatory.sharded import ShardedObservatory
 from repro.observatory.tracker import TopKTracker
 from repro.observatory.transaction import Transaction
+from repro.observatory.transport import BinaryTransport, PickleTransport
 from repro.observatory.window import WindowManager
 
 __all__ = [
@@ -40,5 +41,7 @@ __all__ = [
     "ShardedObservatory",
     "TopKTracker",
     "Transaction",
+    "BinaryTransport",
+    "PickleTransport",
     "WindowManager",
 ]

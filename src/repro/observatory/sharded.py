@@ -26,6 +26,12 @@ Architecture::
     then dispatches newer transactions.  Every worker window is
     therefore aligned to the same global grid.
 
+What crosses the queues is pluggable (``transport=``): the default
+pickles live object graphs, while the binary codec of
+:mod:`repro.observatory.transport` ships batches as pre-serialized
+line blocks and shard state as protocol-5 out-of-band sketch buffers,
+so coordinator time stops scaling with the feature payload size.
+
 Merge semantics (why the output matches the single-process path):
 
 * **Space-Saving rank.**  Each shard ships its entries' decayed rate
@@ -65,8 +71,10 @@ What *can* differ from the single-process path:
 import logging
 import multiprocessing
 import zlib
+from queue import Empty
 
 from repro.observatory.pipeline import Observatory
+from repro.observatory.transport import get_transport
 from repro.observatory.tsv import write_tsv
 from repro.observatory.window import WindowDump, align_window
 
@@ -102,12 +110,17 @@ PARTITIONS = {
 }
 
 
-def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw):
+def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
+                  transport="pickle"):
     """Worker main loop: a full Observatory over one stream shard.
 
-    Speaks a tiny message protocol on *in_q*:
+    Speaks a tiny message protocol on *in_q*, with batch and state
+    payloads encoded by the configured transport (see
+    :mod:`repro.observatory.transport`):
 
-    * ``("batch", [txn, ...])`` -- ingest a window-aligned batch;
+    * ``("batch", payload)`` -- ingest a window-aligned batch (a
+      transaction list under the pickle transport, a pre-serialized
+      line block under the binary one);
     * ``("cut", ts)`` -- the global stream crossed *ts*; flush every
       window ending at or before it and ship the collected
       :class:`ShardWindowState` list back on *out_q*;
@@ -115,6 +128,9 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw):
       remaining states plus final per-dataset statistics, and exit.
     """
     try:
+        codec = get_transport(transport)
+        unpack_batch = codec.unpack_batch
+        pack_states = codec.pack_states
         states = []
         obs = Observatory(datasets=specs, window_seconds=window_seconds,
                           keep_dumps=False, **obs_kw)
@@ -124,10 +140,10 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw):
             message = in_q.get()
             tag = message[0]
             if tag == "batch":
-                consume_batch(message[1])
+                consume_batch(unpack_batch(message[1]))
             elif tag == "cut":
                 obs.windows.advance_to(message[1])
-                out_q.put(("states", shard_id, list(states)))
+                out_q.put(("states", shard_id, pack_states(list(states))))
                 del states[:]  # state_sink stays bound to this list
             elif tag == "finish":
                 obs.windows.flush()
@@ -146,7 +162,8 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw):
                         ((n, obs.tracker(n)) for n in obs.datasets)
                     },
                 }
-                out_q.put(("final", shard_id, list(states), stats))
+                out_q.put(("final", shard_id, pack_states(list(states)),
+                           stats))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise ValueError("unknown message tag %r" % (tag,))
@@ -177,6 +194,11 @@ class ShardedObservatory:
     partition:
         Partition key: a name from :data:`PARTITIONS` or a callable
         ``txn -> str``.
+    transport:
+        Shard transport codec: ``"pickle"`` (default; queues pickle
+        live object graphs) or ``"binary"`` (pre-serialized line
+        blocks upstream, protocol-5 out-of-band sketch buffers
+        downstream -- see :mod:`repro.observatory.transport`).
     mp_context:
         ``multiprocessing`` context or start-method name; defaults to
         ``fork`` where available (cheap worker startup).
@@ -189,7 +211,8 @@ class ShardedObservatory:
                  output_dir=None, keep_dumps=True, sink=None, tau=300.0,
                  use_bloom_gate=True, hll_precision=8,
                  skip_recent_inserts=True, batch_size=DEFAULT_BATCH_SIZE,
-                 partition="srcsrv", mp_context=None, timeout=300.0):
+                 partition="srcsrv", transport="pickle", mp_context=None,
+                 timeout=300.0):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = int(shards)
@@ -206,6 +229,7 @@ class ShardedObservatory:
             self._partition = partition
         else:
             self._partition = PARTITIONS[partition]
+        self._transport = get_transport(transport)
         self._specs = [Observatory._resolve(item) for item in datasets]
         names = [spec.name for spec in self._specs]
         if len(set(names)) != len(names):
@@ -234,7 +258,7 @@ class ShardedObservatory:
                 worker = context.Process(
                     target=_shard_worker,
                     args=(shard_id, in_q, self._out_q, self._specs,
-                          self.window_seconds, obs_kw),
+                          self.window_seconds, obs_kw, self._transport),
                     daemon=True,
                     name="observatory-shard-%d" % shard_id,
                 )
@@ -326,8 +350,8 @@ class ShardedObservatory:
         final_stats = {}
         for _ in range(self.shards):
             reply = self._next_reply(expect="final")
-            _, shard_id, shard_states, stats = reply
-            states.extend(shard_states)
+            _, shard_id, packed, stats = reply
+            states.extend(self._transport.unpack_states(packed))
             final_stats[shard_id] = stats
         self._final_stats = final_stats
         dumps = self._merge_and_emit(states)
@@ -341,10 +365,26 @@ class ShardedObservatory:
         return dumps
 
     def close(self):
-        """Terminate workers and release queues (idempotent)."""
+        """Terminate workers and release queues (idempotent).
+
+        Order matters: first detach our queue feeder threads
+        (``cancel_join_thread``) and drain pending replies so neither
+        side is blocked on a full pipe, *then* terminate -- otherwise
+        a feeder thread flushing into a dead worker's pipe can
+        deadlock interpreter shutdown.
+        """
         if self._closed:
             return
         self._closed = True
+        for queue in self._in_qs + [self._out_q]:
+            queue.cancel_join_thread()
+        while True:
+            try:
+                self._out_q.get_nowait()
+            except Empty:
+                break
+            except (OSError, ValueError):  # pragma: no cover - racing close
+                break
         for worker in self._workers:
             if worker.is_alive():
                 worker.terminate()
@@ -352,7 +392,6 @@ class ShardedObservatory:
             worker.join(timeout=5.0)
         for queue in self._in_qs + [self._out_q]:
             queue.close()
-            queue.cancel_join_thread()
 
     def __enter__(self):
         return self
@@ -367,9 +406,10 @@ class ShardedObservatory:
     def _dispatch_all(self, force=False):
         """Ship every non-empty shard buffer (all of them when a cut
         or finish needs the workers fully caught up)."""
+        pack_batch = self._transport.pack_batch
         for shard_id, buffer in enumerate(self._buffers):
             if buffer and (force or len(buffer) >= self.batch_size):
-                self._in_qs[shard_id].put(("batch", buffer))
+                self._in_qs[shard_id].put(("batch", pack_batch(buffer)))
                 self._buffers[shard_id] = []
 
     def _cut(self, new_start):
@@ -381,12 +421,23 @@ class ShardedObservatory:
         states = []
         for _ in range(self.shards):
             reply = self._next_reply(expect="states")
-            states.extend(reply[2])
+            states.extend(self._transport.unpack_states(reply[2]))
         self._window_start = new_start
         return self._merge_and_emit(states)
 
     def _next_reply(self, expect):
-        reply = self._out_q.get(timeout=self.timeout)
+        try:
+            reply = self._out_q.get(timeout=self.timeout)
+        except Empty:
+            # A worker died (OOM-killed, SIGKILL) or wedged without
+            # managing an "error" reply.  Tear the run down first so
+            # no worker processes leak, then surface the context a
+            # bare queue.Empty would have hidden.
+            self.close()
+            raise RuntimeError(
+                "shard reply timed out after %ss waiting for %r "
+                "(worker died or hung; %d shards)"
+                % (self.timeout, expect, self.shards)) from None
         if reply[0] == "error":
             tb = reply[2]
             self.close()

@@ -140,10 +140,18 @@ class Transaction:
     # -- line serialization (§2.1 "summarize each transaction with a
     #    line of text") ------------------------------------------------
 
-    def to_line(self):
-        """Serialize to a single TSV line."""
+    def to_line(self, exact=False):
+        """Serialize to a single TSV line.
+
+        With ``exact=True`` the two float fields (timestamp, delay) use
+        ``repr`` -- the shortest string that round-trips the exact
+        float -- instead of the human-friendly fixed precision.  The
+        sharded binary transport needs this: a worker re-parses the
+        line, and a microsecond-truncated timestamp would perturb the
+        forward-decay rates the merge compares across shards.
+        """
         fields = [
-            "%.6f" % self.ts,
+            repr(self.ts) if exact else "%.6f" % self.ts,
             self.resolver_ip,
             self.server_ip,
             self.source,
@@ -152,7 +160,7 @@ class Transaction:
             _NONE if self.rcode is None else str(self.rcode),
             "1" if self.answered else "0",
             "%d%d%d%d" % (self.aa, self.tc, self.edns_do, self.has_rrsig),
-            "%.3f" % self.delay_ms,
+            repr(self.delay_ms) if exact else "%.3f" % self.delay_ms,
             str(self.observed_ttl),
             str(self.response_size),
             "%d/%d/%d" % (self.answer_count, self.authority_ns_count,

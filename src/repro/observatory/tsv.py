@@ -28,6 +28,37 @@ GRANULARITY_CHAIN = (
 
 _STATS_PREFIX = "#stats"
 
+#: key-column escapes: tab/newline are legal in DNS wire-format names
+#: (and attacker-controlled via qname datasets), so they must never
+#: reach the file raw -- one hostile key would corrupt every later row.
+_KEY_ESCAPES = {"\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r"}
+_KEY_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+
+
+def escape_key(key):
+    """Escape ``\\t``/``\\n``/``\\r``/``\\\\`` in a row key for writing."""
+    if "\\" in key or "\t" in key or "\n" in key or "\r" in key:
+        return "".join(_KEY_ESCAPES.get(ch, ch) for ch in key)
+    return key
+
+
+def unescape_key(text):
+    """Inverse of :func:`escape_key` (unknown escapes pass through)."""
+    if "\\" not in text:
+        return text
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\\" and i + 1 < n and text[i + 1] in _KEY_UNESCAPES:
+            out.append(_KEY_UNESCAPES[text[i + 1]])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
 
 def filename_for(dataset, granularity, start_ts):
     """``srvip.minutely.0000086400.tsv`` -- name encodes granularity
@@ -87,7 +118,7 @@ def write_tsv(directory, data):
         fh.write("key\t" + "\t".join(data.columns) + "\n")
         for key, row in data.rows:
             values = "\t".join(_format(row.get(col, 0)) for col in data.columns)
-            fh.write("%s\t%s\n" % (key, values))
+            fh.write("%s\t%s\n" % (escape_key(key), values))
         stats = "\t".join(
             "%s=%s" % (name, _format(value))
             for name, value in sorted(data.stats.items())
@@ -109,14 +140,20 @@ def read_tsv(path):
     columns = header[1:]
     rows = []
     stats = {}
-    for line in lines[1:]:
+    for lineno, line in enumerate(lines[1:], start=2):
         fields = line.split("\t")
         if fields[0] == _STATS_PREFIX:
             for pair in fields[1:]:
                 name, _, value = pair.partition("=")
                 stats[name] = _parse(value)
             continue
-        key = fields[0]
+        if len(fields) != len(columns) + 1:
+            # zip() would silently drop the trailing columns of a
+            # short row (or the extra fields of a long one)
+            raise ValueError(
+                "%s line %d: expected %d columns, got %d"
+                % (path, lineno, len(columns) + 1, len(fields)))
+        key = unescape_key(fields[0])
         row = {
             col: _parse(value) for col, value in zip(columns, fields[1:])
         }
@@ -169,6 +206,8 @@ def _format(value):
 
 
 def _parse(text):
+    if text == "":
+        return 0
     try:
         return int(text)
     except ValueError:

@@ -9,8 +9,9 @@ for 60 seconds."
 """
 
 import math
+from pickle import PickleBuffer
 
-from repro.observatory.features import TxnHashes
+from repro.observatory.features import FeatureSet, TxnHashes
 from repro.observatory.tsv import TimeSeriesData
 
 
@@ -96,6 +97,42 @@ class ShardWindowState:
 
     def __len__(self):
         return len(self.entries)
+
+    # -- flat-buffer codec (zero-copy shard transport) -----------------
+
+    def to_buffers(self):
+        """Serialize to ``(meta, buffers)``: per-entry scalars and the
+        idle-entry triples in *meta*, every entry's FeatureSet
+        contributing its contiguous buffers to one flat list."""
+        buffers = []
+        packed = []
+        for key, rate, error, inserted_at, hits, features in self.entries:
+            child_meta, child_buffers = features.to_buffers()
+            packed.append((key, rate, error, inserted_at, hits,
+                           child_meta, len(child_buffers)))
+            buffers.extend(child_buffers)
+        meta = (self.dataset, self.start_ts, tuple(packed),
+                tuple(self.inserted), dict(self.stats))
+        return meta, buffers
+
+    @classmethod
+    def from_buffers(cls, meta, buffers):
+        dataset, start_ts, packed, inserted, stats = meta
+        entries = []
+        offset = 0
+        for key, rate, error, inserted_at, hits, child_meta, count in packed:
+            features = FeatureSet.from_buffers(
+                child_meta, buffers[offset:offset + count])
+            offset += count
+            entries.append((key, rate, error, inserted_at, hits, features))
+        return cls(dataset, start_ts, entries, list(inserted), stats)
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            meta, buffers = self.to_buffers()
+            return (self.from_buffers,
+                    (meta, [PickleBuffer(b) for b in buffers]))
+        return super().__reduce_ex__(protocol)
 
 
 class WindowManager:

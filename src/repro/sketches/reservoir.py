@@ -73,6 +73,34 @@ class ReservoirSample:
         self.count += other.count
         return self
 
+    # -- flat-buffer codec (uniformity with the other sketches) --------
+
+    def to_buffers(self):
+        """Serialize to ``(meta, buffers)``.  Items are arbitrary
+        objects and the RNG state is a structured tuple, so both ride
+        in *meta*; the pair exists so every mergeable sketch speaks
+        the same transport interface."""
+        meta = ("reservoir", self.size, self.count, tuple(self._items),
+                self._rng.getstate())
+        return meta, []
+
+    @classmethod
+    def from_buffers(cls, meta, buffers):
+        tag, size, count, items, rng_state = meta
+        if tag != "reservoir":
+            raise ValueError("unknown ReservoirSample buffer tag %r" % (tag,))
+        sample = cls(size)
+        sample.count = count
+        sample._items = list(items)
+        sample._rng.setstate(rng_state)
+        return sample
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            meta, buffers = self.to_buffers()
+            return (self.from_buffers, (meta, buffers))
+        return super().__reduce_ex__(protocol)
+
     def items(self):
         """Return the current sample (list copy, insertion order)."""
         return list(self._items)

@@ -15,6 +15,13 @@ distributions it is used on, the top few reported values are exact
 with high probability.
 """
 
+import struct
+from pickle import PickleBuffer
+
+_INT_PAIR = struct.Struct("<qq")
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
 
 class TopValues:
     """Track the most frequent discrete values of a feature.
@@ -99,3 +106,45 @@ class TopValues:
         self._counts.clear()
         self.total = 0
         self.replaced = 0
+
+    # -- flat-buffer codec (zero-copy shard transport) -----------------
+
+    def to_buffers(self):
+        """Serialize to ``(meta, buffers)``.  Integer values (the TTL
+        use case) pack as ``(int64 value, int64 count)`` pairs in one
+        contiguous buffer; other hashables fall back to in-band meta.
+        Insertion order is preserved either way -- the recycling
+        victim tie-break depends on it."""
+        counts = self._counts
+        header = (self.max_values, self.total, self.replaced)
+        if all(type(value) is int and _INT64_MIN <= value <= _INT64_MAX
+               for value in counts):
+            buf = bytearray(_INT_PAIR.size * len(counts))
+            pos = 0
+            for value, count in counts.items():
+                _INT_PAIR.pack_into(buf, pos, value, count)
+                pos += _INT_PAIR.size
+            return ("topv-int",) + header, [bytes(buf)]
+        return ("topv-obj",) + header + (tuple(counts.items()),), []
+
+    @classmethod
+    def from_buffers(cls, meta, buffers):
+        tag, max_values, total, replaced = meta[:4]
+        top = cls(max_values)
+        top.total = total
+        top.replaced = replaced
+        if tag == "topv-int":
+            top._counts = {value: count for value, count
+                           in _INT_PAIR.iter_unpack(buffers[0])}
+        elif tag == "topv-obj":
+            top._counts = dict(meta[4])
+        else:
+            raise ValueError("unknown TopValues buffer tag %r" % (tag,))
+        return top
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            meta, buffers = self.to_buffers()
+            return (self.from_buffers,
+                    (meta, [PickleBuffer(b) for b in buffers]))
+        return super().__reduce_ex__(protocol)

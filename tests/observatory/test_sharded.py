@@ -8,6 +8,8 @@ registers byte-identical because per-feature hash seeds are fixed).
 """
 
 import os
+import signal
+import time
 
 import pytest
 
@@ -55,9 +57,11 @@ class TestEquivalence:
     def single(self, txns):
         return _run_single(txns)
 
-    @pytest.mark.parametrize("shards", [2, 4])
-    def test_dumps_match_single_process(self, txns, single, shards):
-        sharded = _run_sharded(txns, shards)
+    @pytest.mark.parametrize("shards,transport", [
+        (2, "pickle"), (4, "pickle"), (2, "binary"), (4, "binary")])
+    def test_dumps_match_single_process(self, txns, single, shards,
+                                        transport):
+        sharded = _run_sharded(txns, shards, transport=transport)
         assert sharded.total_seen == single.total_seen
         assert sharded.windows_completed == single.windows.windows_completed
         for name in single.datasets:
@@ -114,12 +118,14 @@ class TestEquivalence:
 
 
 class TestShardedMechanics:
-    def test_tsv_output_matches_single(self, tmp_path):
+    @pytest.mark.parametrize("transport", ["pickle", "binary"])
+    def test_tsv_output_matches_single(self, tmp_path, transport):
         txns = _stream(duration=130.0, qps=15.0)
         single_dir = tmp_path / "single"
         sharded_dir = tmp_path / "sharded"
         _run_single(txns, output_dir=str(single_dir))
-        _run_sharded(txns, 2, output_dir=str(sharded_dir))
+        _run_sharded(txns, 2, output_dir=str(sharded_dir),
+                     transport=transport)
         names = sorted(os.listdir(single_dir))
         assert sorted(os.listdir(sharded_dir)) == names
         for name in names:
@@ -188,6 +194,8 @@ class TestShardedMechanics:
             ShardedObservatory(shards=2, datasets=["srvip", "srvip"])
         with pytest.raises(KeyError):
             ShardedObservatory(shards=2, partition="nope")
+        with pytest.raises(ValueError):
+            ShardedObservatory(shards=2, transport="carrier-pigeon")
 
     def test_capture_ratios_require_finish(self):
         obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)])
@@ -214,6 +222,69 @@ class TestShardedMechanics:
         obs.finish()
         per_shard = [s["total_seen"] for s in obs.shard_stats().values()]
         assert sum(per_shard) == 10
+
+
+class TestWorkerFailure:
+    """Coordinator fault handling: a dead or hung worker must surface
+    as a descriptive error within ``timeout`` and leave no live child
+    processes behind (regression: ``_next_reply`` used to let a bare
+    ``queue.Empty`` escape without ever calling ``close()``)."""
+
+    @pytest.mark.parametrize("transport", ["pickle", "binary"])
+    def test_sigkill_mid_run_raises_and_reaps_workers(self, transport):
+        obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)],
+                                 timeout=2.0, transport=transport)
+        try:
+            obs.consume_batch([make_txn(ts=float(i), server_ip="192.0.2.%d" % i)
+                               for i in range(8)])
+            os.kill(obs._workers[0].pid, signal.SIGKILL)
+            obs._workers[0].join(timeout=5.0)
+            started = time.monotonic()
+            with pytest.raises(RuntimeError, match="timed out after"):
+                obs.ingest(make_txn(ts=61.0))  # forces a cut barrier
+            elapsed = time.monotonic() - started
+            assert elapsed < 3 * obs.timeout
+            assert obs._closed
+            for worker in obs._workers:
+                assert not worker.is_alive()
+        finally:
+            obs.close()
+
+    def test_sigkill_during_finish(self):
+        obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)],
+                                 timeout=2.0)
+        try:
+            obs.ingest(make_txn(ts=1.0))
+            os.kill(obs._workers[1].pid, signal.SIGKILL)
+            obs._workers[1].join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="timed out after"):
+                obs.finish()
+            for worker in obs._workers:
+                assert not worker.is_alive()
+        finally:
+            obs.close()
+
+    def test_consume_batch_after_close_raises_cleanly(self):
+        obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)])
+        obs.ingest(make_txn(ts=1.0))
+        obs.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            obs.consume_batch([make_txn(ts=2.0)])
+        obs.close()  # idempotent
+
+    def test_close_with_backlogged_queues(self):
+        """close() must not deadlock on queue feeder threads even with
+        undelivered batches sitting in every queue."""
+        obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)],
+                                 batch_size=4)
+        obs.consume_batch([make_txn(ts=float(i), server_ip="192.0.2.%d" % i)
+                           for i in range(64)])
+        started = time.monotonic()
+        obs.close()
+        assert time.monotonic() - started < 10.0
+        for worker in obs._workers:
+            worker.join(timeout=5.0)
+            assert not worker.is_alive()
 
 
 class TestFractionalWindows:

@@ -5,10 +5,12 @@ import pytest
 from repro.observatory.tsv import (
     GRANULARITIES,
     TimeSeriesData,
+    escape_key,
     filename_for,
     list_series,
     parse_filename,
     read_tsv,
+    unescape_key,
     write_tsv,
 )
 
@@ -83,6 +85,69 @@ class TestReadWrite:
 
     def test_len(self):
         assert len(sample_data()) == 2
+
+
+class TestHostileKeys:
+    """A qname key may contain tabs/newlines (legal in DNS wire format
+    and attacker-controlled); unescaped it would corrupt its own row
+    and every row after it."""
+
+    HOSTILE = "evil\tname.\nexample\\com\r."
+
+    def test_escape_unescape_roundtrip(self):
+        for key in (self.HOSTILE, "plain.example.com", "trailing\\",
+                    "\t", "\n\n", "a\\tb"):
+            assert unescape_key(escape_key(key)) == key
+
+    def test_escaped_key_is_single_field_single_line(self):
+        escaped = escape_key(self.HOSTILE)
+        assert "\t" not in escaped and "\n" not in escaped \
+            and "\r" not in escaped
+
+    def test_plain_keys_unchanged(self):
+        assert escape_key("ns1.example.com") == "ns1.example.com"
+        assert unescape_key("ns1.example.com") == "ns1.example.com"
+
+    def test_hostile_qname_file_roundtrip(self, tmp_path):
+        data = TimeSeriesData(
+            "qname", "minutely", 0, columns=["hits", "ok"],
+            rows=[(self.HOSTILE, {"hits": 7, "ok": 6}),
+                  ("after.example.com", {"hits": 3, "ok": 2})],
+            stats={"seen": 10, "kept": 10})
+        back = read_tsv(write_tsv(str(tmp_path), data))
+        assert [key for key, _ in back.rows] == \
+            [self.HOSTILE, "after.example.com"]
+        assert back.rows[0][1] == {"hits": 7, "ok": 6}
+        assert back.rows[1][1] == {"hits": 3, "ok": 2}
+        assert back.stats == {"seen": 10, "kept": 10}
+
+
+class TestStrictReads:
+    def test_short_row_raises_with_line_number(self, tmp_path):
+        path = write_tsv(str(tmp_path), sample_data())
+        lines = open(path).read().splitlines()
+        lines[2] = "short.example.com\t1"  # drops 2 of 3 columns
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="line 3.*expected 4.*got 2"):
+            read_tsv(path)
+
+    def test_long_row_raises(self, tmp_path):
+        path = write_tsv(str(tmp_path), sample_data())
+        with open(path, "a") as fh:
+            fh.write("long.example.com\t1\t2\t3\t4\n")
+        with pytest.raises(ValueError, match="expected 4.*got 5"):
+            read_tsv(path)
+
+    def test_empty_field_parses_as_zero(self, tmp_path):
+        path = write_tsv(str(tmp_path), sample_data())
+        lines = open(path).read().splitlines()
+        lines[1] = "192.0.2.1\t100\t\t12.5"  # empty "ok" column
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        back = read_tsv(path)
+        assert back.rows[0][1]["ok"] == 0
+        assert back.rows[0][1]["hits"] == 100
 
 
 class TestListSeries:

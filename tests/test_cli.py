@@ -80,7 +80,8 @@ def test_report_command(tmp_path, capsys):
     assert "fig2_srvip.csv" in names
 
 
-def test_replay_sharded_matches_single(tmp_path, capsys):
+@pytest.mark.parametrize("transport", ["pickle", "binary"])
+def test_replay_sharded_matches_single(tmp_path, capsys, transport):
     stream = tmp_path / "stream.tsv"
     main(["simulate", "--seed", "8", "--duration", "130", "--qps", "20",
           "-o", str(stream)])
@@ -90,10 +91,11 @@ def test_replay_sharded_matches_single(tmp_path, capsys):
                "--datasets", "srvip", "qtype", "--k", "500"])
     assert rc == 0
     rc = main(["replay", str(stream), str(sharded_dir), "--shards", "2",
+               "--transport", transport,
                "--datasets", "srvip", "qtype", "--k", "500"])
     assert rc == 0
     out = capsys.readouterr().out
-    assert "(2 shards)" in out
+    assert "(2 shards, %s transport)" % transport in out
     import os
 
     names = sorted(os.listdir(single_dir))

@@ -78,12 +78,14 @@ def cmd_replay(args):
             output_dir=args.output_dir,
             window_seconds=args.window,
             transport=args.transport,
+            telemetry=args.telemetry,
         )
     else:
         obs = Observatory(
             datasets=datasets,
             output_dir=args.output_dir,
             window_seconds=args.window,
+            telemetry=args.telemetry,
         )
     with open(args.input) if args.input != "-" else sys.stdin as fh:
         obs.consume(
@@ -170,7 +172,8 @@ def cmd_aggregate(args):
     print("aggregated %d dataset(s), wrote %d file(s)"
           % (len(datasets), len(written)))
     if args.retention_now is not None:
-        deleted = aggregator.apply_retention(args.retention_now)
+        deleted = aggregator.apply_retention(args.retention_now,
+                                             force=args.retention_force)
         print("retention deleted %d file(s)" % len(deleted))
     return 0
 
@@ -203,6 +206,11 @@ def build_parser():
                    help="shard transport codec (with --shards > 1): "
                         "default-pickle object graphs, or line-block "
                         "batches + protocol-5 out-of-band sketch buffers")
+    p.add_argument("--telemetry", action="store_true",
+                   help="emit platform self-telemetry: one _platform "
+                        "TSV row per component per window (sketch "
+                        "saturation, gate churn, flush latency, shard "
+                        "queue depth)")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="simulate and print the Big Picture")
@@ -215,6 +223,10 @@ def build_parser():
     p.add_argument("directory")
     p.add_argument("--retention-now", type=float, default=None,
                    help="apply retention as of this timestamp")
+    p.add_argument("--retention-force", action="store_true",
+                   help="delete expired files even when no coarser "
+                        "file covers them yet (default: only delete "
+                        "rolled-up data)")
     p.set_defaults(func=cmd_aggregate)
     return parser
 

@@ -46,10 +46,21 @@ def aggregate_series(series_list, dataset, granularity, start_ts,
         raise ValueError("expected_points must be positive")
     keys = []
     seen_keys = set()
-    columns = None
+    # Union of the input column sets, preserving first-seen order.
+    # Taking the first file's header verbatim silently dropped columns
+    # introduced mid-window (schema drift -- e.g. a ``_platform`` file
+    # gaining gate columns once the Bloom gate engages).
+    columns = []
+    seen_columns = set()
+    last_header = None
     for series in series_list:
-        if columns is None:
-            columns = series.columns
+        header = series.columns
+        if header is not last_header:  # shared list fast path
+            last_header = header
+            for col in header:
+                if col not in seen_columns:
+                    seen_columns.add(col)
+                    columns.append(col)
         for key, _ in series.rows:
             if key not in seen_keys:
                 seen_keys.add(key)
@@ -154,15 +165,37 @@ class TimeAggregator:
             written.append(write_tsv(self.directory, data))
         return written
 
-    def apply_retention(self, now_ts):
-        """Delete expired fine-grained files; returns deleted paths."""
+    def apply_retention(self, now_ts, force=False):
+        """Delete expired fine-grained files; returns deleted paths.
+
+        A file past its retention age is only deleted when a coarser
+        file covering its window already exists on disk -- i.e. the
+        data has been rolled up.  Retention running ahead of
+        aggregation (a stalled aggregator, a crash between the two
+        passes) used to silently destroy data that had never made it
+        into any coarser granularity.  ``force=True`` restores the
+        unconditional age-based behavior.
+        """
+        entries = list_series(self.directory)
+        on_disk = {(dataset, gran, start)
+                   for _, dataset, gran, start in entries}
+        coarser_of = dict(zip(GRANULARITY_CHAIN, GRANULARITY_CHAIN[1:]))
         deleted = []
-        for path, _, gran, start in list_series(self.directory):
+        for path, dataset, gran, start in entries:
             max_age = self.retention.get(gran)
             if max_age is None:
                 continue
             window_end = start + GRANULARITIES[gran]
-            if now_ts - window_end > max_age:
-                os.remove(path)
-                deleted.append(path)
+            if now_ts - window_end <= max_age:
+                continue
+            if not force:
+                coarser = coarser_of.get(gran)
+                if coarser is None:
+                    continue  # top of the chain: nothing can cover it
+                coarser_len = GRANULARITIES[coarser]
+                covering = (start // coarser_len) * coarser_len
+                if (dataset, coarser, covering) not in on_disk:
+                    continue  # not rolled up yet: deleting would lose data
+            os.remove(path)
+            deleted.append(path)
         return deleted

@@ -19,6 +19,7 @@ import logging
 
 from repro.observatory.keys import DATASETS, DatasetSpec, make_dataset
 from repro.observatory.preprocess import summarize_transaction
+from repro.observatory.telemetry import resolve_telemetry
 from repro.observatory.tracker import TopKTracker
 from repro.observatory.tsv import write_tsv
 from repro.observatory.window import WindowManager
@@ -44,12 +45,18 @@ class Observatory:
         per dataset -- the analysis modules consume these.
     tau / use_bloom_gate / hll_precision / psl:
         Tracker tuning knobs, see :class:`TopKTracker`.
+    telemetry:
+        ``True`` (or a :class:`~repro.observatory.telemetry.Telemetry`
+        registry) enables platform self-telemetry: every window also
+        emits a ``_platform`` meta-dataset dump (sketch saturation,
+        gate churn, flush latency) through the same sink/TSV path.
+        Disabled by default at zero hot-path cost.
     """
 
     def __init__(self, datasets=("srvip",), window_seconds=60.0,
                  output_dir=None, keep_dumps=True, tau=300.0,
                  use_bloom_gate=True, hll_precision=8, psl=None,
-                 skip_recent_inserts=True):
+                 skip_recent_inserts=True, telemetry=False):
         self._trackers = {}
         for item in datasets:
             spec = self._resolve(item)
@@ -62,9 +69,11 @@ class Observatory:
         self.output_dir = output_dir
         self.keep_dumps = keep_dumps
         self.dumps = {name: [] for name in self._trackers}
+        self.telemetry = resolve_telemetry(telemetry)
         self.windows = WindowManager(
             self._trackers.values(), window_seconds=window_seconds,
             sink=self._sink, skip_recent_inserts=skip_recent_inserts,
+            telemetry=self.telemetry,
         )
 
     @staticmethod
@@ -158,6 +167,10 @@ class Observatory:
 
     def _sink(self, dump):
         if self.keep_dumps:
-            self.dumps[dump.dataset].append(dump)
-        if self.output_dir is not None:
+            self.dumps.setdefault(dump.dataset, []).append(dump)
+        if self.output_dir is not None and dump.rows:
+            # Zero-row dumps (a window every tracker sat out) are not
+            # written: a gap must not litter the directory with
+            # header-only files, and aggregation treats a missing
+            # minutely file exactly like an all-zero one.
             write_tsv(self.output_dir, dump.to_timeseries("minutely"))

@@ -70,10 +70,16 @@ What *can* differ from the single-process path:
 
 import logging
 import multiprocessing
+import time
 import zlib
 from queue import Empty
 
 from repro.observatory.pipeline import Observatory
+from repro.observatory.telemetry import (
+    PLATFORM_DATASET,
+    resolve_telemetry,
+    union_columns,
+)
 from repro.observatory.transport import get_transport
 from repro.observatory.tsv import write_tsv
 from repro.observatory.window import WindowDump, align_window
@@ -123,9 +129,11 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
       line block under the binary one);
     * ``("cut", ts)`` -- the global stream crossed *ts*; flush every
       window ending at or before it and ship the collected
-      :class:`ShardWindowState` list back on *out_q*;
+      :class:`ShardWindowState` list back on *out_q*, along with this
+      shard's telemetry snapshot rows (empty when telemetry is off);
     * ``("finish",)`` -- flush the partial tail window, ship the
-      remaining states plus final per-dataset statistics, and exit.
+      remaining states plus final per-dataset statistics and telemetry
+      rows, and exit.
     """
     try:
         codec = get_transport(transport)
@@ -136,6 +144,7 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
                           keep_dumps=False, **obs_kw)
         obs.windows.state_sink = states.append
         consume_batch = obs.windows.consume_batch
+        telemetry = obs.telemetry
         while True:
             message = in_q.get()
             tag = message[0]
@@ -143,7 +152,8 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
                 consume_batch(unpack_batch(message[1]))
             elif tag == "cut":
                 obs.windows.advance_to(message[1])
-                out_q.put(("states", shard_id, pack_states(list(states))))
+                out_q.put(("states", shard_id, pack_states(list(states)),
+                           telemetry.snapshot(message[1])))
                 del states[:]  # state_sink stays bound to this list
             elif tag == "finish":
                 obs.windows.flush()
@@ -163,7 +173,8 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
                     },
                 }
                 out_q.put(("final", shard_id, pack_states(list(states)),
-                           stats))
+                           stats,
+                           telemetry.snapshot(obs.windows.window_start)))
                 return
             else:  # pragma: no cover - protocol misuse
                 raise ValueError("unknown message tag %r" % (tag,))
@@ -205,6 +216,12 @@ class ShardedObservatory:
     timeout:
         Seconds to wait for any single worker reply before declaring
         the run dead.
+    telemetry:
+        ``True`` (or a registry) enables platform self-telemetry on
+        the coordinator *and* every worker: each cut also emits one
+        merged ``_platform`` dump combining coordinator rows (queue
+        depth, batch codec bytes, merge latency, worker liveness)
+        with every shard's own rows under a ``shardN.`` key prefix.
     """
 
     def __init__(self, shards=2, datasets=("srvip",), window_seconds=60.0,
@@ -212,7 +229,7 @@ class ShardedObservatory:
                  use_bloom_gate=True, hll_precision=8,
                  skip_recent_inserts=True, batch_size=DEFAULT_BATCH_SIZE,
                  partition="srcsrv", transport="pickle", mp_context=None,
-                 timeout=300.0):
+                 timeout=300.0, telemetry=False):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = int(shards)
@@ -245,9 +262,17 @@ class ShardedObservatory:
         self.windows_completed = 0
         self._final_stats = None
         self._closed = False
+        self.telemetry = resolve_telemetry(telemetry)
+        self._batch_counter = self.telemetry.counter("coordinator", "batches")
+        self._batch_txns = self.telemetry.counter("coordinator", "batch_txns")
+        self._batch_bytes = self.telemetry.counter("coordinator", "batch_bytes")
+        self._merge_timer = self.telemetry.timing("coordinator", "merge")
+        self._gap_counter = self.telemetry.counter(
+            "coordinator", "windows_skipped")
         obs_kw = dict(tau=tau, use_bloom_gate=use_bloom_gate,
                       hll_precision=hll_precision,
-                      skip_recent_inserts=skip_recent_inserts)
+                      skip_recent_inserts=skip_recent_inserts,
+                      telemetry=self.telemetry.enabled)
         context = self._resolve_context(mp_context)
         self._out_q = context.Queue()
         self._in_qs = []
@@ -268,6 +293,35 @@ class ShardedObservatory:
         except Exception:
             self.close()
             raise
+        if self.telemetry.enabled:
+            self.telemetry.register(
+                "coordinator", self._telemetry_row, deltas=("txns",))
+            for shard_id in range(self.shards):
+                self.telemetry.register(
+                    "shard%d.link" % shard_id,
+                    self._make_link_sampler(shard_id))
+
+    def _telemetry_row(self, now):
+        return {
+            "txns": self.total_seen,
+            "windows": self.windows_completed,
+            "workers_alive": sum(
+                1 for worker in self._workers if worker.is_alive()),
+        }
+
+    def _make_link_sampler(self, shard_id):
+        in_q = self._in_qs[shard_id]
+        worker = self._workers[shard_id]
+
+        def sample(now):
+            try:
+                depth = in_q.qsize()
+            except NotImplementedError:  # pragma: no cover - macOS queues
+                depth = 0
+            return {"queue_depth": depth,
+                    "alive": 1 if worker.is_alive() else 0}
+
+        return sample
 
     @staticmethod
     def _resolve_context(mp_context):
@@ -348,13 +402,19 @@ class ShardedObservatory:
             in_q.put(("finish",))
         states = []
         final_stats = {}
+        worker_rows = []
         for _ in range(self.shards):
             reply = self._next_reply(expect="final")
-            _, shard_id, packed, stats = reply
+            _, shard_id, packed, stats = reply[:4]
             states.extend(self._transport.unpack_states(packed))
             final_stats[shard_id] = stats
+            worker_rows.append((shard_id, reply[4]))
         self._final_stats = final_stats
         dumps = self._merge_and_emit(states)
+        if self.telemetry.enabled and self._window_start is not None:
+            dumps.append(self._emit_platform(
+                self._window_start,
+                self._window_start + self.window_seconds, worker_rows))
         self.close()
         logger.info(
             "ShardedObservatory finished: %d transactions over %d windows "
@@ -407,23 +467,49 @@ class ShardedObservatory:
         """Ship every non-empty shard buffer (all of them when a cut
         or finish needs the workers fully caught up)."""
         pack_batch = self._transport.pack_batch
+        telemetry_on = self.telemetry.enabled
         for shard_id, buffer in enumerate(self._buffers):
             if buffer and (force or len(buffer) >= self.batch_size):
-                self._in_qs[shard_id].put(("batch", pack_batch(buffer)))
+                payload = pack_batch(buffer)
+                self._in_qs[shard_id].put(("batch", payload))
+                if telemetry_on:
+                    self._batch_counter.inc()
+                    self._batch_txns.inc(len(buffer))
+                    if isinstance(payload, (bytes, bytearray, str)):
+                        self._batch_bytes.inc(len(payload))
                 self._buffers[shard_id] = []
 
     def _cut(self, new_start):
         """Barrier at a window boundary: flush batches, have every
         worker advance to *new_start*, merge the returned states."""
+        flushed_start = self._window_start
         self._dispatch_all(force=True)
         for in_q in self._in_qs:
             in_q.put(("cut", new_start))
         states = []
+        worker_rows = []
         for _ in range(self.shards):
             reply = self._next_reply(expect="states")
             states.extend(self._transport.unpack_states(reply[2]))
+            worker_rows.append((reply[1], reply[3]))
         self._window_start = new_start
-        return self._merge_and_emit(states)
+        before = self.windows_completed
+        dumps = self._merge_and_emit(states)
+        # Every window between the flushed one and new_start is part
+        # of this cut, emitted or not: with the gap fast-forward (see
+        # WindowManager._catch_up) workers ship at most one non-empty
+        # window per cut, so credit the skipped empties here to keep
+        # windows_completed in lockstep with the single-process path.
+        emitted = self.windows_completed - before
+        elapsed = int(round((new_start - flushed_start) / self.window_seconds))
+        skipped = elapsed - emitted
+        if skipped > 0:
+            self.windows_completed += skipped
+            self._gap_counter.inc(skipped)
+        if self.telemetry.enabled:
+            dumps.append(
+                self._emit_platform(flushed_start, new_start, worker_rows))
+        return dumps
 
     def _next_reply(self, expect):
         try:
@@ -449,6 +535,7 @@ class ShardedObservatory:
     def _merge_and_emit(self, states):
         """Group shard states by (window, dataset), merge each group
         into a WindowDump, and emit in stream order."""
+        started = time.perf_counter() if self.telemetry.enabled else 0.0
         grouped = {}
         for state in states:
             grouped.setdefault((state.start_ts, state.dataset), []).append(state)
@@ -461,14 +548,36 @@ class ShardedObservatory:
                     continue
                 dumps.append(self._merge_window(dataset, start, group))
             self.windows_completed += 1
+        if self.telemetry.enabled:
+            self._merge_timer.observe(time.perf_counter() - started)
         for dump in dumps:
-            if self.keep_dumps:
-                self.dumps[dump.dataset].append(dump)
-            if self.output_dir is not None:
-                write_tsv(self.output_dir, dump.to_timeseries("minutely"))
-            if self.sink is not None:
-                self.sink(dump)
+            self._emit(dump)
         return dumps
+
+    def _emit(self, dump):
+        if self.keep_dumps:
+            self.dumps.setdefault(dump.dataset, []).append(dump)
+        if self.output_dir is not None and dump.rows:
+            # Same rule as Observatory._sink: gaps must not litter the
+            # directory with header-only files.
+            write_tsv(self.output_dir, dump.to_timeseries("minutely"))
+        if self.sink is not None:
+            self.sink(dump)
+
+    def _emit_platform(self, start, now, worker_rows):
+        """Combine the coordinator's snapshot with every shard's rows
+        (re-keyed ``shardN.component``) into one ``_platform`` dump
+        for the window starting at *start*."""
+        rows = self.telemetry.snapshot(now)
+        for shard_id, shard_rows in worker_rows:
+            rows.extend(
+                ("shard%d.%s" % (shard_id, component), row)
+                for component, row in shard_rows)
+        dump = WindowDump(PLATFORM_DATASET, start, rows,
+                          {"seen": 0, "kept": len(rows)},
+                          columns=union_columns(rows))
+        self._emit(dump)
+        return dump
 
     def _merge_window(self, dataset, start, shard_states):
         """The mergeable-summaries union of one dataset's window."""

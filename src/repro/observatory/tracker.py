@@ -87,6 +87,40 @@ class TopKTracker:
         """Share of processed transactions landing on tracked objects."""
         return self.cache.capture_ratio()
 
+    #: cumulative telemetry columns, differenced per window snapshot
+    telemetry_deltas = (
+        "filtered", "processed", "offered", "tracked_hits", "gated",
+        "evictions", "gate_rotations", "gate_overflow_rotations",
+    )
+
+    def telemetry_row(self, now):
+        """Platform-health sample for the ``_platform`` dataset: cache
+        occupancy and churn, the eviction threshold, and -- when the
+        Bloom gate is on -- its saturation signals.  Pure pull: the
+        underlying counters are maintained by the sketches anyway, so
+        sampling costs nothing on the per-transaction path."""
+        cache = self.cache
+        row = {
+            "tracked": len(cache),
+            "capacity": cache.capacity,
+            "filtered": self.filtered,
+            "processed": self.processed,
+            "offered": cache.offered,
+            "tracked_hits": cache.tracked_hits,
+            "gated": cache.gated,
+            "evictions": cache.evictions,
+            "capture_ratio": round(cache.capture_ratio(), 4),
+            "min_rate": round(cache.min_rate(now), 4)
+            if now is not None else 0.0,
+        }
+        gate = cache.gate
+        if gate is not None:
+            row["gate_fill"] = round(gate.fill_ratio(), 4)
+            row["gate_fpr"] = round(gate.approximate_fpr(), 6)
+            row["gate_rotations"] = gate.rotations
+            row["gate_overflow_rotations"] = gate.overflow_rotations
+        return row
+
     def __len__(self):
         return len(self.cache)
 

@@ -9,9 +9,15 @@ for 60 seconds."
 """
 
 import math
+import time
 from pickle import PickleBuffer
 
 from repro.observatory.features import FeatureSet, TxnHashes
+from repro.observatory.telemetry import (
+    PLATFORM_DATASET,
+    resolve_telemetry,
+    union_columns,
+)
 from repro.observatory.tsv import TimeSeriesData
 
 
@@ -35,9 +41,9 @@ def _as_int_if_integral(value):
 class WindowDump:
     """One dataset's dump for one completed window."""
 
-    __slots__ = ("dataset", "start_ts", "rows", "stats")
+    __slots__ = ("dataset", "start_ts", "rows", "stats", "columns")
 
-    def __init__(self, dataset, start_ts, rows, stats):
+    def __init__(self, dataset, start_ts, rows, stats, columns=None):
         self.dataset = dataset
         #: window start (virtual seconds)
         self.start_ts = start_ts
@@ -45,6 +51,9 @@ class WindowDump:
         self.rows = rows
         #: {"seen": transactions seen, "kept": after filtering/capture}
         self.stats = stats
+        #: TSV column order; None means the canonical feature columns.
+        #: Meta-datasets (``_platform`` telemetry) carry their own.
+        self.columns = columns
 
     def row_map(self):
         return dict(self.rows)
@@ -53,7 +62,7 @@ class WindowDump:
         """Convert to :class:`TimeSeriesData` for the TSV writer."""
         return TimeSeriesData(
             self.dataset, granularity, self.start_ts,
-            rows=self.rows, stats=self.stats,
+            columns=self.columns, rows=self.rows, stats=self.stats,
         )
 
     def __len__(self):
@@ -161,10 +170,20 @@ class WindowManager:
         of :mod:`repro.observatory.sharded`.  The survived-one-window
         rule is **not** applied in this mode; the merging side applies
         it after combining insertion times across shards.
+    telemetry:
+        ``True`` / a :class:`~repro.observatory.telemetry.Telemetry`
+        registry to enable platform self-telemetry: flush latency,
+        rows dumped, skipped-recent counts, gap fast-forwards, plus
+        each tracker's sketch-health sample.  In dump mode (no
+        *state_sink*) every window boundary additionally emits a
+        ``_platform`` :class:`WindowDump` with one row per component.
+        Falsy (the default) wires the shared no-op registry: nothing
+        is recorded and the hot path is untouched.
     """
 
     def __init__(self, trackers, window_seconds=60.0, sink=None,
-                 skip_recent_inserts=True, state_sink=None):
+                 skip_recent_inserts=True, state_sink=None,
+                 telemetry=None):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         self.trackers = list(trackers)
@@ -177,8 +196,26 @@ class WindowManager:
         self._kept_in_window = {t.spec.name: 0 for t in self.trackers}
         #: total transactions observed over the manager's lifetime
         self.total_seen = 0
-        #: completed windows
+        #: completed windows (gap windows fast-forwarded over included)
         self.windows_completed = 0
+        self.telemetry = telemetry = resolve_telemetry(telemetry)
+        self._flush_timer = telemetry.timing("window", "flush")
+        self._rows_counter = telemetry.counter("window", "rows")
+        self._skipped_counter = telemetry.counter("window",
+                                                  "skipped_recent")
+        self._gap_counter = telemetry.counter("window", "windows_skipped")
+        if telemetry.enabled:
+            telemetry.register("window", self._telemetry_row,
+                               deltas=("txns",))
+            for tracker in self.trackers:
+                row_fn = getattr(tracker, "telemetry_row", None)
+                if row_fn is not None:
+                    telemetry.register(
+                        "tracker.%s" % tracker.spec.name, row_fn,
+                        deltas=getattr(tracker, "telemetry_deltas", ()))
+
+    def _telemetry_row(self, now):
+        return {"txns": self.total_seen, "windows": self.windows_completed}
 
     @property
     def window_start(self):
@@ -188,11 +225,11 @@ class WindowManager:
         """Feed one transaction.  Returns the list of WindowDumps
         produced by any window boundary this transaction crossed
         (usually empty)."""
-        dumps = []
         if self._window_start is None:
             self._window_start = self._align(txn.ts)
-        while txn.ts >= self._window_start + self.window_seconds:
-            dumps.extend(self._flush())
+            dumps = []
+        else:
+            dumps = self._catch_up(txn.ts)
         self.total_seen += 1
         self._seen_in_window += 1
         hashes = TxnHashes(txn)  # base hashes shared by all trackers
@@ -246,7 +283,7 @@ class WindowManager:
                     if kept[t]:
                         kept_map[names[t]] += kept[t]
                         kept[t] = 0
-                dumps.extend(self._flush())
+                dumps.extend(self._catch_up(txns[i].ts))
         kept_map = self._kept_in_window
         for t in tracker_range:
             if kept[t]:
@@ -261,12 +298,9 @@ class WindowManager:
         has not reached (or never will, for an idle shard).  A manager
         that has seen no transactions yet stays unstarted.
         """
-        dumps = []
         if self._window_start is None:
-            return dumps
-        while ts >= self._window_start + self.window_seconds:
-            dumps.extend(self._flush())
-        return dumps
+            return []
+        return self._catch_up(ts)
 
     def flush(self):
         """Force a dump of the current (possibly partial) window.
@@ -282,19 +316,50 @@ class WindowManager:
     def _align(self, ts):
         return align_window(ts, self.window_seconds)
 
+    def _catch_up(self, ts):
+        """Flush the current window if *ts* crossed its end, then
+        fast-forward over the rest of a stream gap in one realign.
+
+        The stream is time-ordered, so once the current window has
+        been flushed every further window before *ts* is necessarily
+        empty: dumping each one would only write a header-only TSV per
+        dataset (a 1-day sensor outage with 60 s windows used to write
+        1440 empty files per dataset).  The skipped windows still
+        count toward :attr:`windows_completed`.
+        """
+        dumps = []
+        window_seconds = self.window_seconds
+        if ts < self._window_start + window_seconds:
+            return dumps
+        dumps.extend(self._flush())  # advances exactly one window
+        start = self._window_start
+        if ts >= start + window_seconds:
+            target = self._align(ts)
+            skipped = int(round((target - start) / window_seconds))
+            self._window_start = target
+            self.windows_completed += skipped
+            self._gap_counter.inc(skipped)
+        return dumps
+
     def _flush(self):
         if self.state_sink is not None:
             return self._flush_state()
+        telemetry = self.telemetry
+        started = time.perf_counter() if telemetry.enabled else 0.0
         start = self._window_start
         dumps = []
+        total_rows = 0
+        skipped_recent = 0
         for tracker in self.trackers:
             rows = []
             for entry in tracker.top():
                 if entry.state is None or entry.state.hits == 0:
                     continue
                 if self.skip_recent_inserts and entry.inserted_at > start:
+                    skipped_recent += 1
                     continue  # did not survive a full window yet
                 rows.append((entry.key, entry.state.as_row()))
+            total_rows += len(rows)
             stats = {
                 "seen": self._seen_in_window,
                 "kept": self._kept_in_window[tracker.spec.name],
@@ -305,8 +370,26 @@ class WindowManager:
                 self.sink(dump)
             tracker.reset_window_stats()
             self._kept_in_window[tracker.spec.name] = 0
+        if telemetry.enabled:
+            self._flush_timer.observe(time.perf_counter() - started)
+            self._rows_counter.inc(total_rows)
+            self._skipped_counter.inc(skipped_recent)
+            platform = self._platform_dump(start)
+            dumps.append(platform)
+            if self.sink is not None:
+                self.sink(platform)
         self._advance_window(start)
         return dumps
+
+    def _platform_dump(self, start):
+        """Wrap the registry snapshot into a ``_platform`` WindowDump
+        so platform health flows through the exact TSV/aggregation
+        path as paper data."""
+        rows = self.telemetry.snapshot(start + self.window_seconds)
+        return WindowDump(
+            PLATFORM_DATASET, start, rows,
+            {"seen": self._seen_in_window, "kept": len(rows)},
+            columns=union_columns(rows))
 
     def _flush_state(self):
         """Shard-worker flush: emit mergeable per-tracker state.
@@ -315,6 +398,8 @@ class WindowManager:
         rather than cleared in place, so the emitted objects can cross
         a process boundary while the tracker keeps running.
         """
+        telemetry = self.telemetry
+        started = time.perf_counter() if telemetry.enabled else 0.0
         start = self._window_start
         end = start + self.window_seconds
         for tracker in self.trackers:
@@ -343,6 +428,8 @@ class WindowManager:
             self.state_sink(ShardWindowState(
                 tracker.spec.name, start, entries, inserted, stats))
             self._kept_in_window[tracker.spec.name] = 0
+        if telemetry.enabled:
+            self._flush_timer.observe(time.perf_counter() - started)
         self._advance_window(start)
         return []
 

@@ -43,6 +43,10 @@ class BloomFilter:
         self.num_hashes = max(1, int(round(self.num_bits / capacity * math.log(2))))
         self._bits = bytearray((self.num_bits + 7) // 8)
         self._count = 0
+        #: set bits, maintained incrementally so fill_ratio() is O(1)
+        #: (telemetry samples it; popcounting ~2 Mbit in Python per
+        #: snapshot would dominate the whole flush)
+        self._bits_set = 0
 
     def __len__(self):
         """Number of ``add()`` calls (including duplicates)."""
@@ -61,6 +65,7 @@ class BloomFilter:
             if not self._bits[byte] & (1 << bit):
                 present = False
                 self._bits[byte] |= 1 << bit
+                self._bits_set += 1
         self._count += 1
         return present
 
@@ -71,11 +76,11 @@ class BloomFilter:
         """Remove all keys."""
         self._bits = bytearray(len(self._bits))
         self._count = 0
+        self._bits_set = 0
 
     def fill_ratio(self):
         """Fraction of bits set -- a saturation indicator."""
-        ones = sum(bin(b).count("1") for b in self._bits)
-        return ones / self.num_bits
+        return self._bits_set / self.num_bits
 
     def approximate_fpr(self):
         """Estimate the current false-positive rate from the fill ratio."""
@@ -94,11 +99,16 @@ class RotatingBloomFilter:
 
     def __init__(self, capacity=100_000, error_rate=0.01, seed=0,
                  rotate_interval=600.0):
+        self.capacity = int(capacity)
         self.rotate_interval = float(rotate_interval)
         self._active = BloomFilter(capacity, error_rate, seed)
         self._previous = BloomFilter(capacity, error_rate, seed ^ 0x5BF03635)
         self._last_rotation = None
         self.rotations = 0
+        #: rotations forced by insert-count overflow rather than time --
+        #: nonzero values flag a key surge (PRSD / botnet) faster than
+        #: any fill-ratio poll would
+        self.overflow_rotations = 0
 
     def add(self, key, now=None):
         """Insert *key*; returns True if it was already remembered."""
@@ -106,6 +116,14 @@ class RotatingBloomFilter:
             self.maybe_rotate(now)
         seen = key in self._previous
         seen = self._active.add(key) or seen
+        if len(self._active) >= self.capacity:
+            # Count-based overflow rotation: a key surge within one
+            # rotate_interval (PRSD attack, botnet ramp-up) would
+            # otherwise drive the fill ratio toward 1.0, at which
+            # point every unknown key reads as "seen before" and the
+            # gate silently stops gating.
+            self._rotate(now)
+            self.overflow_rotations += 1
         return seen
 
     def __contains__(self, key):
@@ -118,8 +136,26 @@ class RotatingBloomFilter:
             return False
         if now - self._last_rotation < self.rotate_interval:
             return False
+        self._rotate(now)
+        return True
+
+    def _rotate(self, now):
         self._previous, self._active = self._active, self._previous
         self._active.clear()
-        self._last_rotation = now
+        if now is not None:
+            self._last_rotation = now
         self.rotations += 1
-        return True
+
+    def fill_ratio(self):
+        """Fraction of bits set in the *active* filter -- the gate's
+        primary saturation signal."""
+        return self._active.fill_ratio()
+
+    def approximate_fpr(self):
+        """Estimated false-positive rate of the membership check.
+
+        A key is "remembered" when either filter reports it, so the
+        combined FPR is ``1 - (1-p_active)(1-p_previous)``."""
+        fpr_active = self._active.approximate_fpr()
+        fpr_previous = self._previous.approximate_fpr()
+        return 1.0 - (1.0 - fpr_active) * (1.0 - fpr_previous)

@@ -265,6 +265,16 @@ class SpaceSaving:
         self._rebuild_heap()
         return self
 
+    def min_rate(self, now):
+        """Decayed rate estimate (events/second) of the weakest tracked
+        entry at *now* -- the eviction threshold a new key must beat.
+        A collapsing min-rate on a full cache signals churn; telemetry
+        samples it once per window."""
+        if not self._entries:
+            return 0.0
+        return self.decay.rate(
+            min(entry.weight for entry in self._entries.values()), now)
+
     def capture_ratio(self):
         """Fraction of offered observations that landed on a tracked key.
 

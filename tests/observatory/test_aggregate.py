@@ -53,6 +53,29 @@ class TestAggregateSeries:
         with pytest.raises(ValueError):
             aggregate_series([], "srvip", "decaminutely", 0)
 
+    def test_schema_drift_unions_columns(self):
+        """Regression: the coarse header was copied from the *first*
+        input file, so columns introduced mid-window (e.g. a
+        ``_platform`` file gaining gate columns once the Bloom gate
+        engages) silently vanished from every coarser granularity."""
+        a = TimeSeriesData("_platform", "minutely", 0,
+                           columns=["txns", "rows"],
+                           rows=[("window", {"txns": 10, "rows": 2})],
+                           stats={"seen": 10, "kept": 1})
+        b = TimeSeriesData("_platform", "minutely", 60,
+                           columns=["txns", "rows", "gate_fill"],
+                           rows=[("window", {"txns": 20, "rows": 4,
+                                             "gate_fill": 0.5})],
+                           stats={"seen": 20, "kept": 1})
+        agg = aggregate_series([a, b], "_platform", "decaminutely", 0,
+                               expected_points=2)
+        # Union preserves first-seen order; late columns survive.
+        assert agg.columns == ["txns", "rows", "gate_fill"]
+        row = agg.row_map()["window"]
+        # Non-counter column: mean over present points only.
+        assert row["gate_fill"] == pytest.approx(0.5)
+        assert row["txns"] == pytest.approx(15.0)
+
 
 class TestTimeAggregator:
     def fill_minutely(self, directory, count=20, dataset="srvip"):
@@ -96,10 +119,34 @@ class TestTimeAggregator:
         assert [s[3] for s in hourly] == [0]
 
     def test_retention_deletes_old_fine_files(self, tmp_path):
+        """Rolled-up files past their age are deleted; the roll-up
+        guard is exercised separately below."""
+        d = str(tmp_path)
+        self.fill_minutely(d, count=10)  # one complete decaminute
+        agg = TimeAggregator(d, retention={"minutely": 100})
+        agg.aggregate_directory("srvip")
+        deleted = agg.apply_retention(now_ts=10_000)
+        assert len(deleted) == 10
+        assert list_series(d, "srvip", "minutely") == []
+        # the covering decaminutely file survives
+        assert len(list_series(d, "srvip", "decaminutely")) == 1
+
+    def test_retention_keeps_unaggregated_files(self, tmp_path):
+        """Regression: retention running ahead of aggregation used to
+        delete minutely files no coarser file had absorbed yet --
+        silently losing the data forever."""
+        d = str(tmp_path)
+        self.fill_minutely(d, count=5)  # incomplete decaminute: no roll-up
+        agg = TimeAggregator(d, retention={"minutely": 100})
+        agg.aggregate_directory("srvip")
+        assert agg.apply_retention(now_ts=10_000) == []
+        assert len(list_series(d, "srvip", "minutely")) == 5
+
+    def test_retention_force_overrides_guard(self, tmp_path):
         d = str(tmp_path)
         self.fill_minutely(d, count=5)
         agg = TimeAggregator(d, retention={"minutely": 100})
-        deleted = agg.apply_retention(now_ts=10_000)
+        deleted = agg.apply_retention(now_ts=10_000, force=True)
         assert len(deleted) == 5
         assert list_series(d, "srvip", "minutely") == []
 

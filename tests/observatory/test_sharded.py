@@ -147,19 +147,21 @@ class TestShardedMechanics:
         assert obs.total_seen == 6
 
     def test_cut_on_empty_window_gap(self):
-        """A stream gap spanning whole windows emits (empty) dumps for
-        the idle windows in between, like the single-process catch-up
-        loop does."""
+        """A stream gap spanning whole windows fast-forwards like the
+        single-process catch-up: one dump for the window that had
+        data, nothing for the idle ones, but windows_completed still
+        counts them (parity with WindowManager)."""
         obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)])
         obs.ingest(make_txn(ts=10.0))
         dumps = obs.ingest(make_txn(ts=200.0))
         obs.finish()
-        assert [d.start_ts for d in dumps] == [0, 60, 120]
+        assert [d.start_ts for d in dumps] == [0]
         # window 0's only key was inserted mid-window, so the
-        # survived-one-window rule leaves every dump empty
-        assert [len(d) for d in dumps] == [0, 0, 0]
+        # survived-one-window rule leaves the dump empty
+        assert [len(d) for d in dumps] == [0]
         starts = [d.start_ts for d in obs.dumps["srvip"]]
-        assert starts == [0, 60, 120, 180]
+        assert starts == [0, 180]
+        assert obs.windows_completed == 4  # 0, two skipped, 180
 
     def test_finish_is_idempotent_and_closes(self):
         obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)])
@@ -309,8 +311,10 @@ class TestFractionalWindows:
         assert wm.observe(make_txn(ts=0.6)) == []
         assert wm.window_start == 0.5
         dumps = wm.observe(make_txn(ts=1.7))
-        assert [d.start_ts for d in dumps] == [0.5, 1.0]
+        # window [1.0, 1.5) was empty: fast-forwarded, not emitted
+        assert [d.start_ts for d in dumps] == [0.5]
         assert wm.window_start == 1.5
+        assert wm.windows_completed == 2
 
     def test_observatory_fractional_window_end_to_end(self):
         obs = Observatory(datasets=[("srvip", 8)], window_seconds=0.25,

@@ -90,12 +90,33 @@ class TestWindowManager:
         dumps = wm.observe(make_txn(ts=121.0))
         assert len(dumps[0].rows) == 1  # now it did
 
-    def test_empty_windows_are_emitted(self):
+    def test_gap_fast_forwards_over_empty_windows(self):
+        """A stream gap no longer emits one (empty) dump per idle
+        window -- the manager flushes once, then realigns straight to
+        the gap's far side.  The skipped windows still count."""
         wm = WindowManager([tracker()], window_seconds=60)
         wm.observe(make_txn(ts=0.0))
         dumps = wm.observe(make_txn(ts=200.0))  # skips windows entirely
-        assert len(dumps) >= 2
-        assert wm.windows_completed >= 2
+        assert [d.start_ts for d in dumps] == [0]
+        assert wm.window_start == 180
+        assert wm.windows_completed == 3  # window 0 + two skipped
+
+    def test_gap_storm_writes_no_empty_files(self, tmp_path):
+        """A 1-day sensor outage used to write 1440 header-only TSVs
+        per dataset; now the gap produces no files at all."""
+        from repro.observatory.pipeline import Observatory
+
+        obs = Observatory(datasets=[("srvip", 8)], window_seconds=60,
+                          output_dir=str(tmp_path))
+        obs.ingest(make_txn(ts=0.0))
+        obs.ingest(make_txn(ts=30.0))
+        obs.ingest(make_txn(ts=86_400.0))  # one day later
+        obs.finish()
+        files = sorted(p.name for p in tmp_path.iterdir())
+        # window 0 (non-empty) and the tail window; nothing in between
+        assert files == ["srvip.minutely.0000000000.tsv",
+                         "srvip.minutely.0000086400.tsv"]
+        assert obs.windows.windows_completed == 86_400 // 60 + 1
 
     def test_flush_partial_window(self):
         wm = WindowManager([tracker()], window_seconds=60,

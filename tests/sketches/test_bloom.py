@@ -105,3 +105,39 @@ class TestRotatingBloomFilter:
         # One rotation later the key is in the "previous" filter and
         # still counts as seen.
         assert rb.add("z", now=15.0) is True
+
+
+class TestOverflowRotation:
+    """Regression: a key surge (PRSD attack, botnet ramp-up) within one
+    rotate_interval used to saturate both filters -- once the fill
+    ratio neared 1.0 every unknown key read as "seen before" and the
+    eviction gate silently stopped gating."""
+
+    def test_surge_triggers_overflow_rotation(self):
+        rb = RotatingBloomFilter(capacity=200, rotate_interval=1e9)
+        for i in range(1000):
+            rb.add("surge-%d" % i, now=0.0)
+        assert rb.overflow_rotations >= 4
+        assert rb.rotations == rb.overflow_rotations  # none time-based
+        # The active filter never accumulates more than capacity inserts.
+        assert len(rb._active) < rb.capacity
+
+    def test_gate_keeps_gating_under_surge(self):
+        rb = RotatingBloomFilter(capacity=500, rotate_interval=1e9,
+                                 error_rate=0.01, seed=7)
+        for i in range(20_000):
+            rb.add("surge-%d" % i, now=float(i))
+        # Bounded memory: the estimated FPR stays far from saturation.
+        assert rb.approximate_fpr() < 0.5
+        seen = sum(1 for i in range(1000)
+                   if rb.add("fresh-%d" % i, now=1e6))
+        assert seen / 1000 < 0.5
+
+    def test_saturation_signals_exposed(self):
+        rb = RotatingBloomFilter(capacity=100, rotate_interval=60.0)
+        assert rb.fill_ratio() == 0.0
+        assert rb.approximate_fpr() == 0.0
+        for i in range(50):
+            rb.add("k%d" % i, now=0.0)
+        assert 0.0 < rb.fill_ratio() < 1.0
+        assert 0.0 < rb.approximate_fpr() < 1.0

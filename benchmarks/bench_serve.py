@@ -1,0 +1,249 @@
+"""Serving-layer benchmark: indexed warm-cache queries vs cold reads.
+
+The point of :class:`~repro.observatory.store.SeriesStore` + the HTTP
+API is that answering "top-k srvips now" must not re-parse the whole
+output directory per question.  This bench quantifies that:
+
+* **cold** -- the pre-store baseline: every query calls
+  :func:`read_series` over the full directory and recomputes the
+  ranking from scratch (parse every window file, every time);
+* **warm** -- end-to-end HTTP queries (``/topk``, ``/series``) against
+  a running :class:`~repro.server.http.ObservatoryServer` whose store
+  LRU is warm, measured over a keep-alive connection;
+* **index rebuild** -- opening the store with no manifest (full scan +
+  first-parse) vs reopening with the persisted manifest.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_serve.py --benchmark-only`` records the
+  rates under ``benchmarks/results/``;
+* ``python benchmarks/bench_serve.py --check`` exits nonzero unless
+  warm ``/topk`` and ``/series`` beat the cold baseline by
+  :data:`SPEEDUP_BOUND` -- the CI non-regression gate.
+"""
+
+import asyncio
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - script mode without pytest
+    pytest = None
+
+from repro.analysis.seriesops import accumulate_dumps, ranked_keys
+from repro.observatory.store import MANIFEST_NAME, SeriesStore
+from repro.observatory.tsv import TimeSeriesData, read_series, write_tsv
+from repro.server import build_server
+
+#: warm-cache HTTP queries must beat cold full-directory reads by this
+SPEEDUP_BOUND = 10.0
+
+DATASET = "srvip"
+WINDOWS = 48
+KEYS = 150
+
+#: the two hot endpoints under test (bounded answers, as clients use)
+TOPK_TARGET = "/topk/%s?n=10" % DATASET
+SERIES_TARGET = "/series/%s?limit=8" % DATASET
+
+
+def build_fixture(directory, windows=WINDOWS, keys=KEYS):
+    """Deterministic minutely series: *windows* files x *keys* rows."""
+    for w in range(windows):
+        rows = []
+        for k in range(keys):
+            hits = float((k * 37 + w * 11) % 997 + 1)
+            rows.append(("192.0.%d.%d" % (k // 250, k % 250), {
+                "hits": hits,
+                "clients": round(hits / 7, 2),
+                "bytes_rx": hits * 80,
+                "bytes_tx": hits * 110,
+                "nxdomains": float(k % 9),
+            }))
+        rows.sort(key=lambda kv: -kv[1]["hits"])
+        write_tsv(directory, TimeSeriesData(
+            DATASET, "minutely", w * 60,
+            rows=rows, stats={"seen": keys * 4, "kept": keys}))
+    return directory
+
+
+# -- cold baseline ------------------------------------------------------
+
+def cold_topk(directory, n=10):
+    dumps = read_series(directory, DATASET)
+    return ranked_keys(accumulate_dumps(dumps), by="hits")[:n]
+
+
+def cold_series(directory, limit=8):
+    return read_series(directory, DATASET)[-limit:]
+
+
+def measure_cold(directory, queries=8):
+    """Full-directory re-read per query: queries/second."""
+    started = time.perf_counter()
+    for i in range(queries):
+        if i % 2:
+            cold_series(directory)
+        else:
+            cold_topk(directory)
+    return queries / (time.perf_counter() - started)
+
+
+# -- warm HTTP path -----------------------------------------------------
+
+async def _request(reader, writer, target):
+    writer.write(("GET %s HTTP/1.1\r\nHost: bench\r\n\r\n"
+                  % target).encode("ascii"))
+    await writer.drain()
+    status = int((await reader.readline()).split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if not line.rstrip():
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value)
+    body = await reader.readexactly(length)
+    return status, body
+
+
+async def _measure_http(directory, target, queries):
+    """Queries/second for *target* over one keep-alive connection."""
+    server, app = await build_server(directory, port=0, cache_windows=512)
+    try:
+        reader, writer = await asyncio.open_connection(server.host,
+                                                       server.port)
+        try:
+            # warm-up: populate the index and the parsed-window LRU
+            for warm_target in (TOPK_TARGET, SERIES_TARGET, target):
+                status, _ = await _request(reader, writer, warm_target)
+                assert status == 200, status
+            started = time.perf_counter()
+            for _ in range(queries):
+                status, body = await _request(reader, writer, target)
+                assert status == 200 and body, status
+            elapsed = time.perf_counter() - started
+        finally:
+            writer.close()
+    finally:
+        server.begin_shutdown()
+        await server.wait_closed()
+    return queries / elapsed
+
+
+def measure_warm(directory, target, queries=100):
+    return asyncio.run(_measure_http(directory, target, queries))
+
+
+# -- index rebuild ------------------------------------------------------
+
+def measure_rebuild(directory):
+    """(cold_rebuild_s, manifest_open_s): full scan vs manifest reopen."""
+    manifest = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(manifest):
+        os.remove(manifest)
+    started = time.perf_counter()
+    store = SeriesStore(directory)
+    store.read(DATASET)  # learn row counts/stats the manifest persists
+    cold_s = time.perf_counter() - started
+    store.flush_manifest()
+    started = time.perf_counter()
+    SeriesStore(directory).datasets()
+    warm_s = time.perf_counter() - started
+    return cold_s, warm_s
+
+
+# -- the CI gate --------------------------------------------------------
+
+def check_speedup(directory=None, bound=SPEEDUP_BOUND):
+    """Measure cold vs warm; returns (ok, report)."""
+    tmp = None
+    if directory is None:
+        tmp = tempfile.mkdtemp(prefix="bench-serve-")
+        directory = build_fixture(tmp)
+    try:
+        cold_qps = measure_cold(directory)
+        topk_qps = measure_warm(directory, TOPK_TARGET)
+        series_qps = measure_warm(directory, SERIES_TARGET)
+        rebuild_s, reopen_s = measure_rebuild(directory)
+        speedup_topk = topk_qps / cold_qps
+        speedup_series = series_qps / cold_qps
+        report = (
+            "serve bench (%d windows x %d keys): cold %.1f q/s, warm "
+            "/topk %.0f q/s (%.0fx), warm /series %.0f q/s (%.0fx), "
+            "index rebuild %.1f ms cold / %.1f ms with manifest "
+            "(bound %.0fx)"
+            % (WINDOWS, KEYS, cold_qps, topk_qps, speedup_topk,
+               series_qps, speedup_series, rebuild_s * 1e3,
+               reopen_s * 1e3, bound))
+        ok = speedup_topk >= bound and speedup_series >= bound
+        return ok, report
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def series_dir(tmp_path_factory):
+        return build_fixture(str(tmp_path_factory.mktemp("serve")))
+
+    def test_cold_read_rate(benchmark, series_dir):
+        from benchmarks.conftest import save_result
+
+        benchmark.pedantic(lambda: measure_cold(series_dir, queries=2),
+                           rounds=3, iterations=1)
+        qps = measure_cold(series_dir)
+        save_result("serve_cold",
+                    "cold full-directory read: %.1f queries/s" % qps)
+
+    @pytest.mark.parametrize("target", [TOPK_TARGET, SERIES_TARGET],
+                             ids=["topk", "series"])
+    def test_warm_http_rate(benchmark, series_dir, target):
+        from benchmarks.conftest import save_result
+
+        qps = benchmark.pedantic(
+            lambda: measure_warm(series_dir, target, queries=50),
+            rounds=3, iterations=1)
+        save_result("serve_warm_%s" % target.split("/")[1].split("?")[0],
+                    "warm HTTP %s: %.0f queries/s" % (target, qps))
+
+    def test_index_rebuild_cost(series_dir):
+        from benchmarks.conftest import save_result
+
+        cold_s, warm_s = measure_rebuild(series_dir)
+        save_result("serve_rebuild",
+                    "index rebuild: %.1f ms cold scan, %.1f ms manifest "
+                    "reopen" % (cold_s * 1e3, warm_s * 1e3))
+        assert warm_s <= cold_s * 2  # manifest reopen must not regress
+
+    def test_warm_speedup_within_bound(series_dir):
+        cold_qps = measure_cold(series_dir, queries=4)
+        # Halve the CI bound for the in-suite assertion: shared runners
+        # are noisy, and the hard gate is the --check entry point.
+        for target in (TOPK_TARGET, SERIES_TARGET):
+            qps = measure_warm(series_dir, target, queries=50)
+            assert qps >= cold_qps * SPEEDUP_BOUND / 2, \
+                "%s only %.1fx faster than cold" % (target,
+                                                    qps / cold_qps)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if "--check" not in argv:
+        print("usage: python benchmarks/bench_serve.py --check",
+              file=sys.stderr)
+        return 2
+    ok, report = check_speedup()
+    print(report)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

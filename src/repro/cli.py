@@ -8,9 +8,13 @@ Subcommands:
 * ``replay``   -- feed a transaction-line file through the Observatory
   and write TSV time series to an output directory;
 * ``report``   -- run a scenario end-to-end and print the Big Picture
-  report (the paper's headline tables and figures);
+  report (the paper's headline tables and figures); with
+  ``--platform DIR`` instead render the platform-health summary from
+  a directory's ``_platform`` telemetry series;
 * ``aggregate`` -- roll minutely TSV files up the granularity chain
-  and apply retention.
+  and apply retention;
+* ``serve``    -- run the asyncio HTTP query API over an output
+  directory (top-k, per-key series, platform-health alerting).
 """
 
 import argparse
@@ -102,7 +106,18 @@ def cmd_replay(args):
     return 0
 
 
+def _load_rules(path):
+    from repro.observatory.alerts import DEFAULT_RULES, parse_rules
+
+    if path is None:
+        return list(DEFAULT_RULES)
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_rules(fh.read())
+
+
 def cmd_report(args):
+    if args.platform:
+        return _report_platform(args)
     from repro.analysis import export as csv_export
     from repro.analysis.asattribution import render_table1, table1
     from repro.analysis.delays import (
@@ -160,12 +175,26 @@ def cmd_report(args):
     return 0
 
 
+def _report_platform(args):
+    from repro.analysis.platformhealth import (
+        platform_health, render_platform_health)
+    from repro.observatory.store import SeriesStore
+
+    store = SeriesStore(args.platform)
+    series, verdicts, summary = platform_health(
+        store, rules=_load_rules(args.rules))
+    print(render_platform_health(series, verdicts, summary))
+    # scripting contract: nonzero exit when an alert rule is tripping
+    return 3 if summary["status"] == "fail" else 0
+
+
 def cmd_aggregate(args):
     from repro.observatory.aggregate import TimeAggregator
-    from repro.observatory.tsv import list_series
+    from repro.observatory.store import SeriesStore
 
-    aggregator = TimeAggregator(args.directory)
-    datasets = sorted({ds for _, ds, _, _ in list_series(args.directory)})
+    store = SeriesStore(args.directory)
+    aggregator = TimeAggregator(args.directory, store=store)
+    datasets = sorted(store.datasets())
     written = []
     for dataset in datasets:
         written.extend(aggregator.aggregate_directory(dataset))
@@ -175,7 +204,28 @@ def cmd_aggregate(args):
         deleted = aggregator.apply_retention(args.retention_now,
                                              force=args.retention_force)
         print("retention deleted %d file(s)" % len(deleted))
+    store.flush_manifest()
     return 0
+
+
+def cmd_serve(args):
+    from repro import server as serving
+
+    if args.max_connections < 1:
+        raise SystemExit("error: --max-connections must be >= 1")
+
+    def ready(srv):
+        print("serving %s on http://%s:%d  "
+              "(follow=%s, cache=%d windows, max %d connections)"
+              % (args.directory, srv.host, srv.port, args.follow,
+                 args.cache_windows, args.max_connections))
+        sys.stdout.flush()
+
+    return serving.run(
+        args.directory, host=args.host, port=args.port,
+        follow=args.follow, cache_windows=args.cache_windows,
+        rules=_load_rules(args.rules),
+        max_connections=args.max_connections, ready_callback=ready)
 
 
 def build_parser():
@@ -217,6 +267,14 @@ def build_parser():
     _add_scenario_args(p)
     p.add_argument("--csv-dir", default=None,
                    help="also export the figure data series as CSV")
+    p.add_argument("--platform", metavar="DIR", default=None,
+                   help="instead of simulating, render the platform-"
+                        "health summary (latest vitals, trends, alert "
+                        "verdicts) from DIR's _platform series; exits 3 "
+                        "when a rule is failing")
+    p.add_argument("--rules", metavar="FILE", default=None,
+                   help="alert-rule file for --platform (default: "
+                        "built-in capture/gate/liveness/latency rules)")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("aggregate", help="roll up TSV files + retention")
@@ -228,6 +286,25 @@ def build_parser():
                         "file covers them yet (default: only delete "
                         "rolled-up data)")
     p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("serve", help="HTTP query API over TSV series")
+    p.add_argument("directory", help="replay/aggregate output directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8053,
+                   help="listen port (0 = pick a free port)")
+    p.add_argument("--follow", action="store_true",
+                   help="re-scan the directory per query so windows "
+                        "flushed by a live replay/aggregate writer "
+                        "become visible immediately")
+    p.add_argument("--cache-windows", type=int, default=256,
+                   help="parsed windows held in the LRU cache")
+    p.add_argument("--max-connections", type=int, default=64,
+                   help="connection cap; past it requests get "
+                        "503 + Retry-After")
+    p.add_argument("--rules", metavar="FILE", default=None,
+                   help="alert-rule file for /platform/health "
+                        "(default: built-in rules)")
+    p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -16,7 +16,12 @@ D) per-object traffic features are collected in 60-second windows
 E) time series are written to TSV files
    (:mod:`~repro.observatory.tsv`);
 F) files are aggregated in time -- minutely to 10-minutely to hourly
-   to daily -- with retention (:mod:`~repro.observatory.aggregate`).
+   to daily -- with retention (:mod:`~repro.observatory.aggregate`);
+G) the read path serves them back: an indexed, cached
+   :class:`~repro.observatory.store.SeriesStore` with time-range /
+   key / top-k query primitives, and threshold alerting over the
+   ``_platform`` telemetry series (:mod:`~repro.observatory.alerts`)
+   -- the foundation of the :mod:`repro.server` HTTP API.
 
 The :class:`~repro.observatory.pipeline.Observatory` facade wires all
 of this together; :class:`~repro.observatory.sharded.ShardedObservatory`
@@ -28,6 +33,7 @@ from repro.observatory.features import FeatureSet
 from repro.observatory.keys import DATASETS, DatasetSpec
 from repro.observatory.pipeline import Observatory
 from repro.observatory.sharded import ShardedObservatory
+from repro.observatory.store import SeriesStore
 from repro.observatory.tracker import TopKTracker
 from repro.observatory.transaction import Transaction
 from repro.observatory.transport import BinaryTransport, PickleTransport
@@ -38,6 +44,7 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "Observatory",
+    "SeriesStore",
     "ShardedObservatory",
     "TopKTracker",
     "Transaction",

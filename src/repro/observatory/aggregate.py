@@ -119,11 +119,16 @@ class TimeAggregator:
         "yearly": None,  # keep forever
     }
 
-    def __init__(self, directory, retention=None):
+    def __init__(self, directory, retention=None, store=None):
         self.directory = directory
         self.retention = dict(self.DEFAULT_RETENTION)
         if retention:
             self.retention.update(retention)
+        #: optional :class:`~repro.observatory.store.SeriesStore` over
+        #: the same directory: fine windows are then read through its
+        #: LRU (hot when a server shares the store), and files written
+        #: or deleted here are reconciled into its index immediately.
+        self.store = store
 
     def aggregate_directory(self, dataset):
         """Aggregate *dataset* up the whole granularity chain.
@@ -159,11 +164,18 @@ class TimeAggregator:
             # have fully elapsed relative to the newest fine file.
             if window_start + coarser_len > latest_fine + finer_len:
                 continue
-            series = [read_tsv(path) for _, path in sorted(members)]
+            series = [self._read(path) for _, path in sorted(members)]
             data = aggregate_series(series, dataset, coarser, window_start,
                                     expected_points=points)
             written.append(write_tsv(self.directory, data))
+        if written and self.store is not None:
+            self.store.refresh()
         return written
+
+    def _read(self, path):
+        if self.store is not None:
+            return self.store.read_path(path)
+        return read_tsv(path)
 
     def apply_retention(self, now_ts, force=False):
         """Delete expired fine-grained files; returns deleted paths.
@@ -198,4 +210,6 @@ class TimeAggregator:
                     continue  # not rolled up yet: deleting would lose data
             os.remove(path)
             deleted.append(path)
+        if deleted and self.store is not None:
+            self.store.refresh()
         return deleted

@@ -1,0 +1,461 @@
+"""Indexed read path over a directory of TSV time series.
+
+The write pipeline (``replay`` / ``aggregate``) produces one TSV file
+per dataset per window; every consumer so far re-listed and re-parsed
+the whole directory per question (:func:`~repro.observatory.tsv.read_series`).
+That is fine for a one-shot study and hopeless for a query service:
+the paper's Observatory is an *operated platform* whose operators ask
+"top-k FQDNs now" and "this nameserver's TTL series" (§3--§5) against
+a store that a collector is appending to live.
+
+:class:`SeriesStore` is the missing read path:
+
+* a **manifest index** -- dataset -> granularity -> window offsets,
+  sorted by start time, with per-file identity (mtime + size).  The
+  manifest is persisted next to the data (``.observatory-manifest.json``)
+  so a fresh process -- or the HTTP server restarting -- reopens a
+  million-window directory without re-learning per-window metadata
+  (row counts, stats) that required parsing the files once;
+* **mtime/size invalidation** -- a changed or replaced file drops its
+  cache entry and manifest metadata, so the store can ``follow`` a
+  live writer (``replay`` appending windows, ``aggregate`` rolling
+  them up) and never serve stale or torn state.  Writes are atomic
+  (:func:`~repro.observatory.tsv.write_tsv` goes through
+  ``os.replace``), so a file visible in the listing is complete;
+* a **bounded LRU** of parsed windows -- the hot working set (recent
+  windows, popular ranges) is served from memory; everything else
+  falls back to one bounded parse, not a directory scan;
+* **query primitives** -- :meth:`datasets`, :meth:`select`,
+  :meth:`read`, :meth:`accumulate`, :meth:`topk`, :meth:`key_series`
+  -- the vocabulary the analysis modules, ``repro report`` and
+  :mod:`repro.server` share instead of each re-implementing loops
+  over ``read_series``.
+"""
+
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from repro.observatory.tsv import (
+    GRANULARITIES,
+    parse_filename,
+    read_tsv,
+    window_overlaps,
+)
+
+#: manifest filename, stored inside the series directory
+MANIFEST_NAME = ".observatory-manifest.json"
+
+#: manifest schema version (bump on incompatible layout changes)
+MANIFEST_VERSION = 1
+
+#: distinct range-accumulations memoized per store (see ``accumulate``)
+ACCUMULATE_CACHE = 16
+
+
+class WindowRef:
+    """One indexed window file: identity plus lazily-learned metadata."""
+
+    __slots__ = ("path", "dataset", "granularity", "start_ts",
+                 "mtime_ns", "size", "rows", "stats")
+
+    def __init__(self, path, dataset, granularity, start_ts,
+                 mtime_ns, size, rows=None, stats=None):
+        self.path = path
+        self.dataset = dataset
+        self.granularity = granularity
+        self.start_ts = start_ts
+        #: file identity: changed mtime/size invalidates cache + metadata
+        self.mtime_ns = mtime_ns
+        self.size = size
+        #: row count, learned on first parse (None = not parsed yet)
+        self.rows = rows
+        #: collection stats from the ``#stats`` line, learned on parse
+        self.stats = stats
+
+    @property
+    def end_ts(self):
+        return self.start_ts + GRANULARITIES[self.granularity]
+
+    def same_file(self, mtime_ns, size):
+        return self.mtime_ns == mtime_ns and self.size == size
+
+    def etag_token(self):
+        """Identity token for HTTP ETags: name + mtime + size pins the
+        exact immutable file revision this response was built from."""
+        return "%s:%d:%d" % (os.path.basename(self.path),
+                             self.mtime_ns, self.size)
+
+
+class SeriesStore:
+    """Query layer over one output directory of TSV time series.
+
+    Parameters
+    ----------
+    directory:
+        The ``replay``/``aggregate`` output directory.
+    cache_windows:
+        Maximum parsed windows held in the LRU (0 disables caching).
+    follow:
+        Re-scan the directory before every query so windows flushed by
+        a live writer become visible.  When off (the default), the
+        index is built once at construction and refreshed only via
+        :meth:`refresh`.
+    manifest:
+        Persist the index to ``.observatory-manifest.json`` inside the
+        directory (and load it on open).  Disable for read-only
+        directories.
+    telemetry:
+        Optional :class:`~repro.observatory.telemetry.Telemetry`
+        registry; the store registers a ``store`` component sampler
+        (cache hit ratio, parses, window count).
+    """
+
+    def __init__(self, directory, cache_windows=256, follow=False,
+                 manifest=True, telemetry=None):
+        self.directory = directory
+        self.follow = bool(follow)
+        self.cache_windows = int(cache_windows)
+        self._use_manifest = bool(manifest)
+        #: path -> WindowRef, the live index
+        self._index = {}
+        #: dataset -> granularity -> [WindowRef sorted by start_ts]
+        self._by_series = {}
+        #: path -> TimeSeriesData, LRU order (oldest first)
+        self._cache = OrderedDict()
+        #: selection signature -> accumulated rows (see :meth:`accumulate`)
+        self._accumulated = OrderedDict()
+        self._lock = threading.RLock()
+        self._dirty = False
+        #: cache statistics (exposed via telemetry + bench_serve)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.parses = 0
+        self.refreshes = 0
+        if self._use_manifest:
+            self._load_manifest()
+        self.refresh()
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            telemetry.register("store", self.telemetry_row,
+                               deltas=("hits", "misses", "parses",
+                                       "refreshes"))
+
+    # -- index maintenance ---------------------------------------------
+
+    def refresh(self):
+        """Re-scan the directory and reconcile the index.
+
+        New files are added, vanished files dropped, and files whose
+        (mtime, size) changed -- a rewritten window -- are invalidated:
+        their parsed cache entry and learned metadata are discarded.
+        Returns the number of index entries that changed.
+        """
+        with self._lock:
+            self.refreshes += 1
+            seen = set()
+            changed = 0
+            try:
+                entries = list(os.scandir(self.directory))
+            except FileNotFoundError:
+                entries = []
+            for entry in entries:
+                try:
+                    dataset, gran, start = parse_filename(entry.name)
+                except ValueError:
+                    continue
+                try:
+                    st = entry.stat()
+                except OSError:
+                    continue  # vanished between scandir and stat
+                path = entry.path
+                seen.add(path)
+                ref = self._index.get(path)
+                if ref is not None and ref.same_file(st.st_mtime_ns,
+                                                     st.st_size):
+                    continue
+                changed += 1
+                self._cache.pop(path, None)
+                self._set_ref(WindowRef(path, dataset, gran, start,
+                                        st.st_mtime_ns, st.st_size))
+            for path in list(self._index):
+                if path not in seen:
+                    changed += 1
+                    self._drop_ref(path)
+            if changed:
+                self._dirty = True
+                self._save_manifest()
+            return changed
+
+    def _set_ref(self, ref):
+        old = self._index.get(ref.path)
+        if old is not None:
+            self._remove_from_series(old)
+        self._index[ref.path] = ref
+        series = self._by_series.setdefault(
+            ref.dataset, {}).setdefault(ref.granularity, [])
+        series.append(ref)
+        series.sort(key=lambda r: r.start_ts)
+
+    def _drop_ref(self, path):
+        ref = self._index.pop(path, None)
+        self._cache.pop(path, None)
+        if ref is not None:
+            self._remove_from_series(ref)
+
+    def _remove_from_series(self, ref):
+        grans = self._by_series.get(ref.dataset)
+        if not grans:
+            return
+        series = grans.get(ref.granularity)
+        if series is None:
+            return
+        grans[ref.granularity] = [r for r in series if r.path != ref.path]
+        if not grans[ref.granularity]:
+            del grans[ref.granularity]
+            if not grans:
+                del self._by_series[ref.dataset]
+
+    # -- manifest persistence ------------------------------------------
+
+    @property
+    def manifest_path(self):
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _load_manifest(self):
+        try:
+            with open(self.manifest_path, "r", encoding="utf-8") as fh:
+                blob = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(blob, dict) or \
+                blob.get("version") != MANIFEST_VERSION:
+            return
+        for name, meta in blob.get("windows", {}).items():
+            try:
+                dataset, gran, start = parse_filename(name)
+                ref = WindowRef(
+                    os.path.join(self.directory, name), dataset, gran,
+                    start, int(meta["mtime_ns"]), int(meta["size"]),
+                    rows=meta.get("rows"), stats=meta.get("stats"))
+            except (KeyError, TypeError, ValueError):
+                continue
+            self._set_ref(ref)
+
+    def _save_manifest(self):
+        """Persist the index atomically (best effort: a read-only
+        directory downgrades to an in-memory index, not an error)."""
+        if not self._use_manifest or not self._dirty:
+            return
+        windows = {
+            os.path.basename(ref.path): {
+                "mtime_ns": ref.mtime_ns,
+                "size": ref.size,
+                "rows": ref.rows,
+                "stats": ref.stats,
+            }
+            for ref in self._index.values()
+        }
+        blob = {"version": MANIFEST_VERSION, "windows": windows}
+        tmp = "%s.tmp.%d" % (self.manifest_path, os.getpid())
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(blob, fh, separators=(",", ":"))
+            os.replace(tmp, self.manifest_path)
+            self._dirty = False
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+
+    def flush_manifest(self):
+        """Write learned metadata (row counts, stats) back to disk."""
+        with self._lock:
+            self._save_manifest()
+
+    # -- query primitives ----------------------------------------------
+
+    def datasets(self):
+        """Summary of everything indexed, without opening any file:
+        ``{dataset: {granularity: {windows, first_ts, last_ts}}}``."""
+        self._maybe_refresh()
+        with self._lock:
+            out = {}
+            for dataset, grans in sorted(self._by_series.items()):
+                out[dataset] = {}
+                for gran, refs in grans.items():
+                    out[dataset][gran] = {
+                        "windows": len(refs),
+                        "first_ts": refs[0].start_ts,
+                        "last_ts": refs[-1].start_ts,
+                    }
+            return out
+
+    def select(self, dataset, granularity="minutely",
+               start_ts=None, end_ts=None):
+        """Index entries (:class:`WindowRef`) overlapping the range,
+        sorted by start time.  No file is opened."""
+        self._maybe_refresh()
+        with self._lock:
+            refs = self._by_series.get(dataset, {}).get(granularity, [])
+            if start_ts is None and end_ts is None:
+                return list(refs)
+            return [ref for ref in refs
+                    if window_overlaps(granularity, ref.start_ts,
+                                       start_ts, end_ts)]
+
+    def read(self, dataset, granularity="minutely",
+             start_ts=None, end_ts=None):
+        """Parsed windows for the range, served through the LRU.
+
+        Drop-in replacement for
+        :func:`~repro.observatory.tsv.read_series` -- returns the same
+        time-ordered :class:`~repro.observatory.tsv.TimeSeriesData`
+        list the analysis modules already consume.
+        """
+        return [self._read_ref(ref)
+                for ref in self.select(dataset, granularity,
+                                       start_ts, end_ts)]
+
+    def read_window(self, ref):
+        """Parse (or fetch from cache) one indexed window."""
+        return self._read_ref(ref)
+
+    def read_path(self, path):
+        """Read one window by file path through the LRU.
+
+        A path the index has not met yet triggers one reconciliation
+        scan; a path outside the directory entirely falls back to a
+        plain uncached parse (the :class:`TimeAggregator` contract).
+        """
+        with self._lock:
+            ref = self._index.get(path)
+        if ref is None:
+            self.refresh()
+            with self._lock:
+                ref = self._index.get(path)
+        if ref is None:
+            return read_tsv(path)
+        return self._read_ref(ref)
+
+    def _read_ref(self, ref):
+        with self._lock:
+            data = self._cache.get(ref.path)
+            if data is not None:
+                self.cache_hits += 1
+                self._cache.move_to_end(ref.path)
+                return data
+            self.cache_misses += 1
+        data = read_tsv(ref.path)
+        with self._lock:
+            self.parses += 1
+            if ref.rows != len(data.rows) or ref.stats != data.stats:
+                ref.rows = len(data.rows)
+                ref.stats = dict(data.stats)
+                self._dirty = True
+            if self.cache_windows > 0:
+                self._cache[ref.path] = data
+                self._cache.move_to_end(ref.path)
+                while len(self._cache) > self.cache_windows:
+                    self._cache.popitem(last=False)
+        return data
+
+    def accumulate(self, dataset, granularity="minutely",
+                   start_ts=None, end_ts=None):
+        """Whole-range per-key rows (counters summed, gauges
+        hits-weighted) -- the accumulation every ranking and
+        distribution analysis starts from.
+
+        Accumulations are memoized by the exact file revisions they
+        were computed from (the same ``mtime + size`` identity that
+        backs the window LRU and HTTP ETags), so a repeated ``/topk``
+        over unchanged windows is a dictionary lookup, not an
+        O(windows x keys) re-merge.  Treat the returned mapping as
+        read-only -- it is shared between callers.
+        """
+        from repro.analysis.seriesops import accumulate_dumps
+
+        refs = self.select(dataset, granularity, start_ts, end_ts)
+        signature = (dataset, granularity,
+                     tuple(ref.etag_token() for ref in refs))
+        with self._lock:
+            rows = self._accumulated.get(signature)
+            if rows is not None:
+                self._accumulated.move_to_end(signature)
+                return rows
+        rows = accumulate_dumps([self._read_ref(ref) for ref in refs])
+        with self._lock:
+            self._accumulated[signature] = rows
+            self._accumulated.move_to_end(signature)
+            while len(self._accumulated) > ACCUMULATE_CACHE:
+                self._accumulated.popitem(last=False)
+        return rows
+
+    def topk(self, dataset, n=10, by="hits", granularity="minutely",
+             start_ts=None, end_ts=None):
+        """Top-*n* keys of *dataset* over the range, ranked by column
+        *by*: list of ``(key, row_dict)`` heaviest first."""
+        from repro.analysis.seriesops import ranked_keys
+
+        rows = self.accumulate(dataset, granularity, start_ts, end_ts)
+        return [(key, rows[key])
+                for key in ranked_keys(rows, by=by)[:max(int(n), 0)]]
+
+    def key_series(self, dataset, key, column="hits",
+                   granularity="minutely", start_ts=None, end_ts=None):
+        """One key's per-window time series: ``[(start_ts, value)]``
+        over every window in the range (0 where the key is absent)."""
+        series = []
+        for data in self.read(dataset, granularity, start_ts, end_ts):
+            row = data.row_map().get(key)
+            series.append((data.start_ts,
+                           row.get(column, 0) if row is not None else 0))
+        return series
+
+    def has_key(self, dataset, key, granularity="minutely",
+                start_ts=None, end_ts=None):
+        """Does *key* appear in any window of the range?"""
+        for data in self.read(dataset, granularity, start_ts, end_ts):
+            if key in data.row_map():
+                return True
+        return False
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _maybe_refresh(self):
+        if self.follow:
+            self.refresh()
+
+    def cache_info(self):
+        with self._lock:
+            total = self.cache_hits + self.cache_misses
+            return {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_ratio": self.cache_hits / total if total else 0.0,
+                "cached_windows": len(self._cache),
+                "capacity": self.cache_windows,
+                "indexed_windows": len(self._index),
+            }
+
+    def telemetry_row(self, now):
+        """Pull-sampler for the telemetry registry (``store`` row)."""
+        info = self.cache_info()
+        return {
+            "hits": info["hits"],
+            "misses": info["misses"],
+            "hit_ratio": round(info["hit_ratio"], 4),
+            "cached_windows": info["cached_windows"],
+            "indexed_windows": info["indexed_windows"],
+            "parses": self.parses,
+            "refreshes": self.refreshes,
+        }
+
+    def __len__(self):
+        with self._lock:
+            return len(self._index)
+
+    def __repr__(self):
+        return "SeriesStore(%r, windows=%d, follow=%r)" % (
+            self.directory, len(self), self.follow)

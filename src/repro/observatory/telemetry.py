@@ -99,6 +99,40 @@ class Timing:
         return row
 
 
+class Ratio:
+    """Hit/total ratio instrument, emitted per snapshot window.
+
+    Serves the query layer's hit-ratio columns (store LRU hits, HTTP
+    conditional-request 304s): callers mark every event and the hits
+    among them; each snapshot emits the ratio over the window and
+    resets, so the ``_platform`` row reads as per-window behaviour
+    rather than a lifetime average that stops moving.
+    """
+
+    __slots__ = ("hits", "total", "_last_hits", "_last_total")
+
+    def __init__(self):
+        self.hits = 0
+        self.total = 0
+        self._last_hits = 0
+        self._last_total = 0
+
+    def mark(self, hit):
+        """Record one event; *hit* says whether it counts as a hit."""
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    def drain(self, name):
+        """Per-snapshot ``{name: ratio, name_n: events}`` row slice."""
+        hits = self.hits - self._last_hits
+        total = self.total - self._last_total
+        self._last_hits = self.hits
+        self._last_total = self.total
+        return {name: round(hits / total, 4) if total else 0.0,
+                name + "_n": total}
+
+
 class _NullInstrument:
     """Shared do-nothing instrument handed out by :class:`NullTelemetry`."""
 
@@ -111,6 +145,9 @@ class _NullInstrument:
         pass
 
     def observe(self, seconds):
+        pass
+
+    def mark(self, hit):
         pass
 
 
@@ -145,6 +182,9 @@ class Telemetry:
 
     def timing(self, component, name):
         return self._instrument(component, name, Timing)
+
+    def ratio(self, component, name):
+        return self._instrument(component, name, Ratio)
 
     def _instrument(self, component, name, cls):
         row = self._components.setdefault(component, {})
@@ -207,6 +247,9 @@ class NullTelemetry:
         return NULL_INSTRUMENT
 
     def timing(self, component, name):
+        return NULL_INSTRUMENT
+
+    def ratio(self, component, name):
         return NULL_INSTRUMENT
 
     def register(self, component, sampler, deltas=()):

@@ -108,22 +108,40 @@ class TimeSeriesData:
 def write_tsv(directory, data):
     """Write *data* to ``directory`` using the canonical filename.
 
+    The write is atomic: rows go to a ``.tmp`` sibling which is then
+    :func:`os.replace`-d onto the final name, so a concurrent reader
+    (``aggregate`` racing ``replay``, or a follow-mode
+    :class:`~repro.observatory.store.SeriesStore` behind the HTTP
+    server) either sees the complete file or no file at all -- never a
+    torn window.  The ``.tmp`` sibling has no ``.tsv`` extension, so
+    :func:`list_series` cannot pick it up even if a crash strands it.
+
     Returns the full file path.
     """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(
         directory, filename_for(data.dataset, data.granularity, data.start_ts)
     )
-    with open(path, "w", encoding="utf-8") as fh:
-        fh.write("key\t" + "\t".join(data.columns) + "\n")
-        for key, row in data.rows:
-            values = "\t".join(_format(row.get(col, 0)) for col in data.columns)
-            fh.write("%s\t%s\n" % (escape_key(key), values))
-        stats = "\t".join(
-            "%s=%s" % (name, _format(value))
-            for name, value in sorted(data.stats.items())
-        )
-        fh.write("%s\t%s\n" % (_STATS_PREFIX, stats))
+    tmp_path = "%s.tmp.%d" % (path, os.getpid())
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as fh:
+            fh.write("key\t" + "\t".join(data.columns) + "\n")
+            for key, row in data.rows:
+                values = "\t".join(
+                    _format(row.get(col, 0)) for col in data.columns)
+                fh.write("%s\t%s\n" % (escape_key(key), values))
+            stats = "\t".join(
+                "%s=%s" % (name, _format(value))
+                for name, value in sorted(data.stats.items())
+            )
+            fh.write("%s\t%s\n" % (_STATS_PREFIX, stats))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
     return path
 
 
@@ -161,11 +179,26 @@ def read_tsv(path):
     return TimeSeriesData(dataset, granularity, start_ts, columns, rows, stats)
 
 
-def list_series(directory, dataset=None, granularity=None):
+def window_overlaps(granularity, window_start, start_ts=None, end_ts=None):
+    """Does the window starting at *window_start* overlap
+    ``[start_ts, end_ts)``?  ``None`` bounds are open."""
+    if end_ts is not None and window_start >= end_ts:
+        return False
+    if start_ts is not None and \
+            window_start + GRANULARITIES[granularity] <= start_ts:
+        return False
+    return True
+
+
+def list_series(directory, dataset=None, granularity=None,
+                start_ts=None, end_ts=None):
     """List time-series files in *directory*, sorted by start time.
 
     Returns (path, dataset, granularity, start_ts) tuples, optionally
-    filtered.
+    filtered.  *start_ts*/*end_ts* restrict the listing to windows
+    overlapping the half-open range ``[start_ts, end_ts)``; the filter
+    is purely filename-based (granularity gives the window length), so
+    a range query never opens files outside its range.
     """
     results = []
     if not os.path.isdir(directory):
@@ -179,22 +212,28 @@ def list_series(directory, dataset=None, granularity=None):
             continue
         if granularity is not None and gran != granularity:
             continue
+        if not window_overlaps(gran, start, start_ts, end_ts):
+            continue
         results.append((os.path.join(directory, name), ds, gran, start))
     results.sort(key=lambda item: (item[1], item[3]))
     return results
 
 
-def read_series(directory, dataset, granularity="minutely"):
-    """Load all of *dataset*'s files at *granularity*, time-ordered.
+def read_series(directory, dataset, granularity="minutely",
+                start_ts=None, end_ts=None):
+    """Load *dataset*'s files at *granularity*, time-ordered.
 
     The returned :class:`TimeSeriesData` list plugs directly into the
     analysis modules (they accept anything with ``rows`` and
     ``start_ts``), so a full study can run from a directory of TSVs
-    produced by ``dns-observatory replay``.
+    produced by ``dns-observatory replay``.  When *start_ts*/*end_ts*
+    are given only the overlapping windows are parsed (the default
+    keeps the historical load-everything behaviour).
     """
     return [read_tsv(path)
             for path, _, _, _ in list_series(directory, dataset,
-                                             granularity)]
+                                             granularity, start_ts,
+                                             end_ts)]
 
 
 def _format(value):

@@ -1,0 +1,78 @@
+"""Query & serving layer: asyncio HTTP API over a TSV series store.
+
+The write side (``replay`` / ``aggregate``) turns a transaction stream
+into TSV time series; this package is the read side the paper's
+operators actually use -- an HTTP JSON API over an indexed
+:class:`~repro.observatory.store.SeriesStore` with platform-health
+alerting (:mod:`repro.observatory.alerts`).
+
+>>> from repro.server import build_server          # doctest: +SKIP
+>>> server, app = await build_server("out/")       # doctest: +SKIP
+>>> await server.serve_forever()                   # doctest: +SKIP
+
+or from the command line::
+
+    dns-observatory serve out/ --port 8053 --follow
+"""
+
+import asyncio
+
+from repro.observatory.alerts import DEFAULT_RULES
+from repro.observatory.store import SeriesStore
+from repro.observatory.telemetry import Telemetry
+from repro.server.app import ObservatoryApp
+from repro.server.http import HttpError, ObservatoryServer, Request, Response
+
+__all__ = [
+    "HttpError",
+    "ObservatoryApp",
+    "ObservatoryServer",
+    "Request",
+    "Response",
+    "build_server",
+    "run",
+]
+
+
+async def build_server(directory, host="127.0.0.1", port=8053,
+                       follow=False, cache_windows=256, rules=None,
+                       max_connections=64, store=None, telemetry=None):
+    """Wire store + app + server and start listening.
+
+    Returns ``(server, app)``; the caller drives
+    ``server.serve_forever()`` (or ``wait_closed`` after
+    ``begin_shutdown`` in tests).
+    """
+    registry = telemetry if telemetry is not None else Telemetry()
+    if store is None:
+        store = SeriesStore(directory, cache_windows=cache_windows,
+                            follow=follow, telemetry=registry)
+    app = ObservatoryApp(store,
+                         rules=DEFAULT_RULES if rules is None else rules,
+                         telemetry=registry)
+    server = ObservatoryServer(app, host=host, port=port,
+                               max_connections=max_connections)
+    app.server = server
+    await server.start()
+    return server, app
+
+
+def run(directory, host="127.0.0.1", port=8053, follow=False,
+        cache_windows=256, rules=None, max_connections=64,
+        ready_callback=None):
+    """Blocking entry point for ``dns-observatory serve``."""
+
+    async def _main():
+        server, app = await build_server(
+            directory, host=host, port=port, follow=follow,
+            cache_windows=cache_windows, rules=rules,
+            max_connections=max_connections)
+        if ready_callback is not None:
+            ready_callback(server)
+        try:
+            await server.serve_forever()
+        finally:
+            app.store.flush_manifest()
+        return 0
+
+    return asyncio.run(_main())

@@ -1,0 +1,326 @@
+"""Route handlers: the JSON query API over a :class:`SeriesStore`.
+
+Endpoints (all GET):
+
+* ``/datasets`` -- index summary: every dataset, granularity, window
+  count and covered time span (no file opens);
+* ``/series/<dataset>`` -- per-window rows over a time range
+  (``granularity=``, ``start=``, ``end=``, ``limit=`` newest windows);
+* ``/topk/<dataset>`` -- top-``n`` keys ranked ``by=`` a column over a
+  range (the paper's "top-k FQDNs now" question);
+* ``/key/<dataset>/<key>`` -- one key's ``column=`` time series;
+* ``/platform/health`` -- alert-rule verdicts over the ``_platform``
+  telemetry series plus server/store self-stats.
+
+Responses over closed windows are immutable, so every store-backed
+endpoint carries a strong ETag derived from the exact file revisions
+(name + mtime + size) the answer was computed from; ``If-None-Match``
+turns a repeat poll into a 304 with no body and no window parses, and
+rendered 200 bodies are memoized by (route, ETag) so an unconditional
+repeat query over unchanged windows skips the re-accumulation and
+re-encoding too.
+Per-endpoint latency and conditional-hit instruments live in the
+shared :mod:`repro.observatory.telemetry` registry, so a served store
+is monitorable with the same machinery as the ingest pipeline.
+"""
+
+import hashlib
+import time
+from collections import OrderedDict
+
+from repro.observatory import alerts
+from repro.observatory.telemetry import PLATFORM_DATASET, resolve_telemetry
+from repro.observatory.tsv import GRANULARITIES
+
+from repro.server.http import HttpError, Response
+
+#: hard ceiling on /topk n= (a typo must not serialize a million rows)
+MAX_TOPK = 10000
+
+#: hard ceiling on /series limit=
+MAX_WINDOWS = 5000
+
+#: rendered 200 bodies kept per app, keyed by (route, ETag) -- the
+#: windows behind an ETag are immutable, so the JSON encoding is too
+RESPONSE_CACHE = 128
+
+
+class ObservatoryApp:
+    """Async request handler bound to one store + rule set.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.observatory.store.SeriesStore` (typically
+        follow-mode when a writer is live).
+    rules:
+        Alert rules for ``/platform/health``
+        (default :data:`repro.observatory.alerts.DEFAULT_RULES`).
+    telemetry:
+        ``True`` / registry for per-endpoint latency + 304-hit-ratio
+        instruments and a ``server`` pull-sampler; the *store* should
+        be registered on the same registry for one unified health row.
+    server:
+        Optional :class:`~repro.server.http.ObservatoryServer`, used
+        to include connection stats in health output.
+    """
+
+    ROUTES = ("datasets", "series", "topk", "key", "platform")
+
+    def __init__(self, store, rules=alerts.DEFAULT_RULES, telemetry=None,
+                 server=None):
+        self.store = store
+        self.rules = list(rules)
+        self.server = server
+        self.telemetry = resolve_telemetry(telemetry)
+        self.started_at = time.time()
+        self._latency = {
+            route: self.telemetry.timing("server.%s" % route, "latency")
+            for route in self.ROUTES
+        }
+        self._requests = {
+            route: self.telemetry.counter("server.%s" % route, "requests")
+            for route in self.ROUTES
+        }
+        self._etag_hits = {
+            route: self.telemetry.ratio("server.%s" % route, "etag_hit")
+            for route in self.ROUTES
+        }
+        self._errors = self.telemetry.counter("server", "errors")
+        #: (route, etag) -> encoded 200 body, LRU order (oldest first)
+        self._body_cache = OrderedDict()
+        if self.telemetry.enabled:
+            self.telemetry.register("server", self._telemetry_row,
+                                    deltas=("connections", "rejected"))
+
+    def _telemetry_row(self, now):
+        row = {"uptime_s": round(time.time() - self.started_at, 1)}
+        if self.server is not None:
+            row["active_connections"] = self.server.active_connections
+            row["connections"] = self.server.connections_total
+            row["rejected"] = self.server.rejected_total
+        return row
+
+    # ------------------------------------------------------------------
+
+    async def __call__(self, request):
+        route, handler, args = self._route(request.path)
+        self._requests[route].inc()
+        started = time.perf_counter()
+        try:
+            response = handler(request, *args)
+        except HttpError as exc:
+            if exc.status >= 500:
+                self._errors.inc()
+            raise
+        finally:
+            self._latency[route].observe(time.perf_counter() - started)
+        self._etag_hits[route].mark(response.status == 304)
+        return response
+
+    def _route(self, path):
+        parts = [p for p in path.split("/") if p]
+        if parts == ["datasets"]:
+            return "datasets", self.handle_datasets, ()
+        if len(parts) == 2 and parts[0] == "series":
+            return "series", self.handle_series, (parts[1],)
+        if len(parts) == 2 and parts[0] == "topk":
+            return "topk", self.handle_topk, (parts[1],)
+        if len(parts) == 3 and parts[0] == "key":
+            return "key", self.handle_key, (parts[1], parts[2])
+        if parts == ["platform", "health"]:
+            return "platform", self.handle_health, ()
+        raise HttpError(404, "no such endpoint: %s" % path)
+
+    # -- parameter parsing ---------------------------------------------
+
+    @staticmethod
+    def _float_param(request, name):
+        raw = request.params.get(name)
+        if raw is None or raw == "":
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise HttpError(400, "parameter %r must be a number, got %r"
+                            % (name, raw))
+
+    @staticmethod
+    def _int_param(request, name, default, lo, hi):
+        raw = request.params.get(name)
+        if raw is None or raw == "":
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise HttpError(400, "parameter %r must be an integer, got %r"
+                            % (name, raw))
+        if not lo <= value <= hi:
+            raise HttpError(400, "parameter %r must be in [%d, %d]"
+                            % (name, lo, hi))
+        return value
+
+    def _granularity(self, request):
+        gran = request.params.get("granularity", "minutely")
+        if gran not in GRANULARITIES:
+            raise HttpError(400, "unknown granularity %r (one of %s)"
+                            % (gran, ", ".join(sorted(GRANULARITIES))))
+        return gran
+
+    def _range(self, request):
+        start = self._float_param(request, "start")
+        end = self._float_param(request, "end")
+        if start is not None and end is not None and end <= start:
+            raise HttpError(400, "empty range: end <= start")
+        return start, end
+
+    def _select_known(self, dataset, granularity, start, end):
+        """Range-select with a 404 contract: unknown dataset (at this
+        granularity) is an error, an empty range of a known one is an
+        empty answer."""
+        refs = self.store.select(dataset, granularity, start, end)
+        if not refs and granularity not in \
+                self.store.datasets().get(dataset, {}):
+            raise HttpError(404, "unknown dataset %r at granularity %r"
+                            % (dataset, granularity))
+        return refs
+
+    # -- conditional responses -----------------------------------------
+
+    @staticmethod
+    def _etag(refs, *extra):
+        digest = hashlib.sha1()
+        for ref in refs:
+            digest.update(ref.etag_token().encode("utf-8"))
+            digest.update(b"|")
+        for item in extra:
+            digest.update(str(item).encode("utf-8"))
+            digest.update(b"|")
+        return '"%s"' % digest.hexdigest()
+
+    def _conditional_json(self, route, request, etag, build):
+        """304, cached rendered body, or build-encode-and-cache.
+
+        An ETag names the exact file revisions (plus query) an answer
+        was computed from, so a matching cached body is byte-for-byte
+        what a rebuild would produce; *build* only runs on the first
+        request for a given revision set.  The cache key includes the
+        route because different endpoints over the same windows and
+        query string legitimately share an ETag.
+        """
+        if etag in request.if_none_match():
+            return Response.not_modified(etag)
+        key = (route, etag)
+        body = self._body_cache.get(key)
+        if body is None:
+            body = Response.json(build()).body
+            self._body_cache[key] = body
+            while len(self._body_cache) > RESPONSE_CACHE:
+                self._body_cache.popitem(last=False)
+        else:
+            self._body_cache.move_to_end(key)
+        return Response(200, body, {"ETag": etag})
+
+    # -- endpoints -----------------------------------------------------
+
+    def handle_datasets(self, request):
+        summary = self.store.datasets()
+        payload = {
+            "datasets": summary,
+            "granularities": GRANULARITIES,
+            "directory": self.store.directory,
+        }
+        return Response.json(payload)
+
+    def handle_series(self, request, dataset):
+        granularity = self._granularity(request)
+        start, end = self._range(request)
+        limit = self._int_param(request, "limit", MAX_WINDOWS, 1,
+                                MAX_WINDOWS)
+        refs = self._select_known(dataset, granularity, start, end)
+        refs = refs[-limit:]  # newest windows win under a limit
+        etag = self._etag(refs, dataset, granularity, request.raw_query)
+
+        def build():
+            windows = []
+            for ref in refs:
+                data = self.store.read_window(ref)
+                windows.append({
+                    "start_ts": data.start_ts,
+                    "end_ts": ref.end_ts,
+                    "stats": data.stats,
+                    "rows": [[key, row] for key, row in data.rows],
+                })
+            return {
+                "dataset": dataset,
+                "granularity": granularity,
+                "windows": windows,
+                "window_count": len(windows),
+            }
+
+        return self._conditional_json("series", request, etag, build)
+
+    def handle_topk(self, request, dataset):
+        granularity = self._granularity(request)
+        start, end = self._range(request)
+        n = self._int_param(request, "n", 10, 1, MAX_TOPK)
+        by = request.params.get("by", "hits")
+        refs = self._select_known(dataset, granularity, start, end)
+        etag = self._etag(refs, dataset, granularity, request.raw_query)
+
+        def build():
+            top = self.store.topk(dataset, n=n, by=by,
+                                  granularity=granularity,
+                                  start_ts=start, end_ts=end)
+            return {
+                "dataset": dataset,
+                "granularity": granularity,
+                "by": by,
+                "top": [{"key": key, "rank": rank + 1,
+                         "value": row.get(by, 0), "row": row}
+                        for rank, (key, row) in enumerate(top)],
+                "windows": len(refs),
+            }
+
+        return self._conditional_json("topk", request, etag, build)
+
+    def handle_key(self, request, dataset, key):
+        granularity = self._granularity(request)
+        start, end = self._range(request)
+        column = request.params.get("column", "hits")
+        refs = self._select_known(dataset, granularity, start, end)
+        etag = self._etag(refs, dataset, granularity, key,
+                          request.raw_query)
+
+        def build():
+            if not self.store.has_key(dataset, key, granularity,
+                                      start_ts=start, end_ts=end):
+                raise HttpError(404, "key %r not found in dataset %r"
+                                % (key, dataset))
+            series = self.store.key_series(dataset, key, column=column,
+                                           granularity=granularity,
+                                           start_ts=start, end_ts=end)
+            return {
+                "dataset": dataset,
+                "key": key,
+                "column": column,
+                "granularity": granularity,
+                "series": [[ts, value] for ts, value in series],
+            }
+
+        return self._conditional_json("key", request, etag, build)
+
+    def handle_health(self, request):
+        granularity = self._granularity(request)
+        windows = self._int_param(request, "windows", 60, 1, MAX_WINDOWS)
+        series = self.store.read(PLATFORM_DATASET, granularity)[-windows:]
+        verdicts = alerts.evaluate(series, self.rules)
+        payload = alerts.summarize(verdicts)
+        payload.update({
+            "verdicts": [v.as_dict() for v in verdicts],
+            "platform_windows": len(series),
+            "latest_window_ts": series[-1].start_ts if series else None,
+            "store": self.store.cache_info(),
+            "server": self._telemetry_row(None),
+        })
+        return Response.json(payload)

@@ -1,0 +1,315 @@
+"""Minimal asyncio HTTP/1.1 transport for the query API.
+
+Stdlib-only by project constraint (``pyproject.toml`` dependencies
+stay ``[]``), so this is a deliberately small HTTP/1.1 server: GET
+requests, keep-alive, gzip content negotiation, ETag conditional
+responses, a hard connection cap with 503 + ``Retry-After``
+backpressure, and graceful drain on SIGTERM.  Everything
+application-level (routing, JSON bodies, instrumentation) lives in
+:mod:`repro.server.app`; this module only moves bytes.
+"""
+
+import asyncio
+import gzip
+import json
+import logging
+import signal
+import socket
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+logger = logging.getLogger(__name__)
+
+#: maximum request head (request line + headers) we will buffer
+MAX_REQUEST_HEAD = 16 * 1024
+
+#: bodies below this size are not worth compressing
+GZIP_MIN_BYTES = 256
+
+#: idle keep-alive connections are dropped after this many seconds
+KEEPALIVE_TIMEOUT = 30.0
+
+REASONS = {
+    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 431: "Request Header Fields Too Large",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Application-level error carrying an HTTP status."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Request:
+    """One parsed GET request."""
+
+    __slots__ = ("method", "path", "raw_query", "params", "headers")
+
+    def __init__(self, method, target, headers):
+        self.method = method
+        parts = urlsplit(target)
+        self.path = unquote(parts.path)
+        self.raw_query = parts.query
+        #: last-one-wins query parameters, keys/values decoded
+        self.params = dict(parse_qsl(parts.query, keep_blank_values=True))
+        #: header names lower-cased
+        self.headers = headers
+
+    def wants_gzip(self):
+        accept = self.headers.get("accept-encoding", "")
+        return any(token.split(";")[0].strip() == "gzip"
+                   for token in accept.split(","))
+
+    def if_none_match(self):
+        """Client ETags from ``If-None-Match`` (quotes preserved)."""
+        raw = self.headers.get("if-none-match")
+        if not raw:
+            return ()
+        return tuple(token.strip() for token in raw.split(","))
+
+
+class Response:
+    """Status + JSON-ready payload + extra headers."""
+
+    __slots__ = ("status", "body", "headers", "content_type")
+
+    def __init__(self, status, body=b"", headers=None,
+                 content_type="application/json"):
+        self.status = status
+        self.body = body
+        self.headers = dict(headers or {})
+        self.content_type = content_type
+
+    @classmethod
+    def json(cls, payload, status=200, headers=None):
+        body = (json.dumps(payload, separators=(",", ":"),
+                           sort_keys=True) + "\n").encode("utf-8")
+        return cls(status, body, headers)
+
+    @classmethod
+    def error(cls, status, message):
+        return cls.json({"error": message, "status": status},
+                        status=status)
+
+    @classmethod
+    def not_modified(cls, etag):
+        return cls(304, b"", {"ETag": etag})
+
+
+async def read_request(reader, timeout=KEEPALIVE_TIMEOUT):
+    """Read one request head; ``None`` on clean EOF / idle timeout.
+
+    Raises :class:`HttpError` on malformed or oversized heads.
+    """
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    except asyncio.TimeoutError:
+        return None
+    except asyncio.LimitOverrunError:
+        raise HttpError(431, "request head too large")
+    if len(head) > MAX_REQUEST_HEAD:
+        raise HttpError(431, "request head too large")
+    try:
+        text = head.decode("latin-1")
+        request_line, _, header_block = text.partition("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError:
+        raise HttpError(400, "malformed request line")
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "unsupported HTTP version")
+    headers = {}
+    for line in header_block.split("\r\n"):
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    return Request(method, target, headers)
+
+
+def render_response(response, request=None, close=False):
+    """Serialize a :class:`Response`, applying gzip negotiation."""
+    body = response.body
+    headers = dict(response.headers)
+    if (request is not None and body and len(body) >= GZIP_MIN_BYTES
+            and request.wants_gzip() and response.status == 200):
+        body = gzip.compress(body, compresslevel=6)
+        headers["Content-Encoding"] = "gzip"
+        headers["Vary"] = "Accept-Encoding"
+    lines = ["HTTP/1.1 %d %s" % (response.status,
+                                 REASONS.get(response.status, "Unknown"))]
+    if body or response.status != 304:
+        headers.setdefault("Content-Type", response.content_type)
+    headers["Content-Length"] = str(len(body))
+    headers["Connection"] = "close" if close else "keep-alive"
+    for name, value in headers.items():
+        lines.append("%s: %s" % (name, value))
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+class ObservatoryServer:
+    """Connection manager around an async ``handler(request)``.
+
+    Parameters
+    ----------
+    handler:
+        Async callable ``handler(Request) -> Response`` (usually an
+        :class:`repro.server.app.ObservatoryApp`).
+    host / port:
+        Bind address; port 0 picks a free port (tests, CI smoke).
+    max_connections:
+        Hard cap on concurrently open client connections.  Connections
+        past the cap are answered ``503`` with ``Retry-After`` and
+        closed immediately -- the documented backpressure contract, so
+        an overload sheds load instead of queueing unboundedly.
+    shutdown_grace:
+        Seconds to wait for in-flight requests on graceful shutdown
+        before cancelling them.
+    """
+
+    def __init__(self, handler, host="127.0.0.1", port=8053,
+                 max_connections=64, shutdown_grace=10.0):
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.max_connections = int(max_connections)
+        self.shutdown_grace = shutdown_grace
+        self._server = None
+        self._conn_tasks = set()
+        self._closing = asyncio.Event()
+        #: observability counters (sampled by the app's telemetry row)
+        self.connections_total = 0
+        self.rejected_total = 0
+
+    @property
+    def active_connections(self):
+        return len(self._conn_tasks)
+
+    async def start(self):
+        """Bind and start accepting; resolves the actual port."""
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port,
+            limit=MAX_REQUEST_HEAD)
+        sockets = self._server.sockets or ()
+        for sock in sockets:
+            if sock.family in (socket.AF_INET, socket.AF_INET6):
+                self.port = sock.getsockname()[1]
+                break
+        logger.info("serving on %s:%d (max %d connections)",
+                    self.host, self.port, self.max_connections)
+        return self
+
+    def begin_shutdown(self):
+        """Stop accepting new connections; in-flight requests finish."""
+        if self._closing.is_set():
+            return
+        logger.info("graceful shutdown: draining %d connection(s)",
+                    self.active_connections)
+        self._closing.set()
+        if self._server is not None:
+            self._server.close()
+
+    async def wait_closed(self):
+        """Block until shutdown was requested and connections drained."""
+        await self._closing.wait()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(
+                set(self._conn_tasks), timeout=self.shutdown_grace)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    async def serve_forever(self, install_signals=True):
+        """Run until SIGTERM/SIGINT (or :meth:`begin_shutdown`)."""
+        if self._server is None:
+            await self.start()
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self.begin_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-POSIX event loop
+        await self.wait_closed()
+
+    # ------------------------------------------------------------------
+
+    def _client_connected(self, reader, writer):
+        if self._closing.is_set() or \
+                self.active_connections >= self.max_connections:
+            task = asyncio.ensure_future(self._reject(writer))
+            # Rejections are not tracked as connections: they must not
+            # consume cap slots, but shutdown should not abandon them.
+            task.add_done_callback(lambda t: t.exception())
+            return
+        self.connections_total += 1
+        task = asyncio.ensure_future(self._serve_client(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+
+    async def _reject(self, writer):
+        self.rejected_total += 1
+        response = Response.error(503, "server at connection capacity")
+        response.headers["Retry-After"] = "1"
+        try:
+            writer.write(render_response(response, close=True))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_client(self, reader, writer):
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    writer.write(render_response(
+                        Response.error(exc.status, exc.message),
+                        close=True))
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                close = self._closing.is_set() or \
+                    request.headers.get("connection", "").lower() == "close"
+                if request.method != "GET":
+                    response = Response.error(
+                        405, "only GET is supported")
+                    response.headers["Allow"] = "GET"
+                else:
+                    try:
+                        response = await self.handler(request)
+                    except HttpError as exc:
+                        response = Response.error(exc.status, exc.message)
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception:
+                        logger.exception("unhandled error serving %s",
+                                         request.path)
+                        response = Response.error(
+                            500, "internal server error")
+                writer.write(render_response(response, request, close))
+                await writer.drain()
+                if close:
+                    return
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass

@@ -1,0 +1,304 @@
+"""Tests for the indexed SeriesStore read path."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.observatory.store import MANIFEST_NAME, SeriesStore
+from repro.observatory.tsv import TimeSeriesData, read_series, write_tsv
+
+
+def make_window(tmp_path, start, dataset="srvip", granularity="minutely",
+                rows=None):
+    rows = rows if rows is not None else [
+        ("192.0.2.1", {"hits": 10 + start, "ok": 9}),
+        ("192.0.2.2", {"hits": 5, "ok": 5}),
+    ]
+    data = TimeSeriesData(dataset, granularity, start,
+                          columns=["hits", "ok"], rows=rows,
+                          stats={"seen": 20, "kept": 15})
+    return write_tsv(str(tmp_path), data)
+
+
+class TestIndex:
+    def test_datasets_summary_without_opens(self, tmp_path):
+        for start in (0, 60, 120):
+            make_window(tmp_path, start)
+        make_window(tmp_path, 0, dataset="qtype")
+        store = SeriesStore(str(tmp_path))
+        summary = store.datasets()
+        assert summary["srvip"]["minutely"] == {
+            "windows": 3, "first_ts": 0, "last_ts": 120}
+        assert summary["qtype"]["minutely"]["windows"] == 1
+        assert store.parses == 0  # the summary is index-only
+
+    def test_select_is_sorted_and_range_filtered(self, tmp_path):
+        for start in (180, 0, 120, 60):
+            make_window(tmp_path, start)
+        store = SeriesStore(str(tmp_path))
+        assert [r.start_ts for r in store.select("srvip")] == \
+            [0, 60, 120, 180]
+        assert [r.start_ts
+                for r in store.select("srvip", start_ts=60, end_ts=180)] \
+            == [60, 120]
+
+    def test_read_matches_read_series(self, tmp_path):
+        for start in (0, 60, 120):
+            make_window(tmp_path, start)
+        store = SeriesStore(str(tmp_path))
+        got = store.read("srvip")
+        want = read_series(str(tmp_path), "srvip")
+        assert [(d.start_ts, d.rows, d.stats) for d in got] == \
+            [(d.start_ts, d.rows, d.stats) for d in want]
+
+    def test_unknown_dataset_empty(self, tmp_path):
+        store = SeriesStore(str(tmp_path))
+        assert store.select("nothing") == []
+        assert store.read("nothing") == []
+        assert store.datasets() == {}
+
+    def test_missing_directory(self, tmp_path):
+        store = SeriesStore(str(tmp_path / "nope"), manifest=False)
+        assert len(store) == 0
+
+
+class TestCache:
+    def test_lru_serves_repeat_reads_without_parsing(self, tmp_path):
+        for start in (0, 60):
+            make_window(tmp_path, start)
+        store = SeriesStore(str(tmp_path))
+        store.read("srvip")
+        assert store.parses == 2
+        store.read("srvip")
+        store.read("srvip", start_ts=60)
+        assert store.parses == 2
+        assert store.cache_info()["hit_ratio"] > 0.5
+
+    def test_cache_bounded(self, tmp_path):
+        for start in range(0, 600, 60):
+            make_window(tmp_path, start)
+        store = SeriesStore(str(tmp_path), cache_windows=3)
+        store.read("srvip")
+        assert store.cache_info()["cached_windows"] == 3
+
+    def test_zero_cache_disables(self, tmp_path):
+        make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path), cache_windows=0)
+        store.read("srvip")
+        store.read("srvip")
+        assert store.parses == 2
+        assert store.cache_info()["cached_windows"] == 0
+
+    def test_rewritten_file_invalidated(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        assert store.read("srvip")[0].rows[0][1]["hits"] == 10
+        make_window(tmp_path, 0, rows=[("192.0.2.9", {"hits": 77, "ok": 1})])
+        # Force a distinct mtime even on coarse-timestamp filesystems.
+        os.utime(path, ns=(1, 1))
+        store.refresh()
+        assert store.read("srvip")[0].rows[0][1]["hits"] == 77
+
+    def test_deleted_file_dropped_on_refresh(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        make_window(tmp_path, 60)
+        store = SeriesStore(str(tmp_path))
+        os.remove(path)
+        store.refresh()
+        assert [r.start_ts for r in store.select("srvip")] == [60]
+
+
+class TestFollow:
+    def test_follow_picks_up_new_windows(self, tmp_path):
+        make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path), follow=True)
+        assert len(store.select("srvip")) == 1
+        make_window(tmp_path, 60)
+        assert [r.start_ts for r in store.select("srvip")] == [0, 60]
+
+    def test_non_follow_requires_explicit_refresh(self, tmp_path):
+        make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        make_window(tmp_path, 60)
+        assert len(store.select("srvip")) == 1
+        store.refresh()
+        assert len(store.select("srvip")) == 2
+
+    def test_follow_never_serves_torn_window(self, tmp_path):
+        """A follow-mode store polling a live writer sees every new
+        window either complete or not at all (atomic writes + listing
+        reconciliation)."""
+        rows = [("key-%05d" % i, {"hits": i, "ok": i}) for i in range(2000)]
+        store = SeriesStore(str(tmp_path), follow=True, cache_windows=4)
+        done = threading.Event()
+
+        def writer():
+            try:
+                for start in range(0, 20 * 60, 60):
+                    make_window(tmp_path, start, rows=rows)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        torn = []
+        try:
+            while not done.is_set():
+                for data in store.read("srvip"):
+                    if len(data.rows) != len(rows) or \
+                            "seen" not in data.stats:
+                        torn.append(data.start_ts)
+        finally:
+            thread.join()
+        assert not torn
+        assert len(store.read("srvip")) == 20
+
+
+class TestManifest:
+    def test_manifest_persisted_and_reloaded(self, tmp_path):
+        for start in (0, 60):
+            make_window(tmp_path, start)
+        store = SeriesStore(str(tmp_path))
+        store.read("srvip")  # learn row counts + stats
+        store.flush_manifest()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        name = "srvip.minutely.0000000000.tsv"
+        assert manifest["windows"][name]["rows"] == 2
+        assert manifest["windows"][name]["stats"]["seen"] == 20
+
+        reopened = SeriesStore(str(tmp_path))
+        ref = reopened.select("srvip")[0]
+        assert ref.rows == 2  # metadata survived without a parse
+        assert reopened.parses == 0
+
+    def test_stale_manifest_entry_invalidated(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        store.read("srvip")
+        store.flush_manifest()
+        make_window(tmp_path, 0,
+                    rows=[("x", {"hits": 1, "ok": 1}),
+                          ("y", {"hits": 1, "ok": 1}),
+                          ("z", {"hits": 1, "ok": 1})])
+        os.utime(path, ns=(123, 123))
+        reopened = SeriesStore(str(tmp_path))
+        data = reopened.read("srvip")[0]
+        assert len(data.rows) == 3
+
+    def test_corrupt_manifest_ignored(self, tmp_path):
+        make_window(tmp_path, 0)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        store = SeriesStore(str(tmp_path))
+        assert len(store.select("srvip")) == 1
+
+    def test_manifest_disabled(self, tmp_path):
+        make_window(tmp_path, 0)
+        SeriesStore(str(tmp_path), manifest=False)
+        assert not (tmp_path / MANIFEST_NAME).exists()
+
+
+class TestQueries:
+    def setup_windows(self, tmp_path):
+        make_window(tmp_path, 0, rows=[
+            ("a", {"hits": 10, "ok": 10}), ("b", {"hits": 1, "ok": 1})])
+        make_window(tmp_path, 60, rows=[
+            ("b", {"hits": 20, "ok": 20}), ("c", {"hits": 2, "ok": 2})])
+
+    def test_topk(self, tmp_path):
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        top = store.topk("srvip", n=2)
+        assert [key for key, _ in top] == ["b", "a"]
+        assert top[0][1]["hits"] == 21
+
+    def test_topk_range(self, tmp_path):
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        top = store.topk("srvip", n=1, end_ts=60)
+        assert [key for key, _ in top] == ["a"]
+
+    def test_key_series_fills_absent_windows_with_zero(self, tmp_path):
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        assert store.key_series("srvip", "b") == [(0, 1), (60, 20)]
+        assert store.key_series("srvip", "a") == [(0, 10), (60, 0)]
+
+    def test_has_key(self, tmp_path):
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        assert store.has_key("srvip", "c")
+        assert not store.has_key("srvip", "c", end_ts=60)
+        assert not store.has_key("srvip", "zz")
+
+    def test_accumulate_matches_seriesops(self, tmp_path):
+        from repro.analysis.seriesops import accumulate_dumps
+
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        assert store.accumulate("srvip") == \
+            accumulate_dumps(read_series(str(tmp_path), "srvip"))
+
+    def test_accumulate_memoized_over_unchanged_windows(self, tmp_path):
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        first = store.accumulate("srvip")
+        parses = store.parses
+        # same selection, same file revisions: the exact same mapping
+        assert store.accumulate("srvip") is first
+        assert store.parses == parses
+        # a different range is a different accumulation
+        assert store.accumulate("srvip", end_ts=60) is not first
+
+    def test_accumulate_memo_invalidated_by_new_window(self, tmp_path):
+        self.setup_windows(tmp_path)
+        store = SeriesStore(str(tmp_path))
+        first = store.accumulate("srvip")
+        make_window(tmp_path, 120, rows=[("d", {"hits": 5, "ok": 5})])
+        store.refresh()
+        second = store.accumulate("srvip")
+        assert second is not first
+        assert second["d"]["hits"] == 5
+
+
+def test_telemetry_registration(tmp_path):
+    from repro.observatory.telemetry import Telemetry
+
+    make_window(tmp_path, 0)
+    registry = Telemetry()
+    store = SeriesStore(str(tmp_path), telemetry=registry)
+    store.read("srvip")
+    store.read("srvip")
+    rows = dict(registry.snapshot(60))
+    assert rows["store"]["indexed_windows"] == 1
+    assert rows["store"]["hits"] == 1
+    assert rows["store"]["misses"] == 1
+    # Cumulative columns are differenced per snapshot.
+    rows = dict(registry.snapshot(120))
+    assert rows["store"]["hits"] == 0
+
+
+def test_etag_token_changes_with_file(tmp_path):
+    path = make_window(tmp_path, 0)
+    store = SeriesStore(str(tmp_path))
+    before = store.select("srvip")[0].etag_token()
+    os.utime(path, ns=(99, 99))
+    store.refresh()
+    after = store.select("srvip")[0].etag_token()
+    assert before != after
+
+
+def test_windows_of_manifest_never_alias_tmp_files(tmp_path):
+    make_window(tmp_path, 0)
+    (tmp_path / "srvip.minutely.0000000060.tsv.tmp.123").write_text("junk")
+    store = SeriesStore(str(tmp_path))
+    assert [r.start_ts for r in store.select("srvip")] == [0]
+
+
+def test_misses_counted_against_cache_disabled(tmp_path):
+    make_window(tmp_path, 0)
+    store = SeriesStore(str(tmp_path), cache_windows=0)
+    store.read("srvip")
+    info = store.cache_info()
+    assert info["misses"] == 1 and info["hits"] == 0

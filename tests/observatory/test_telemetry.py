@@ -11,6 +11,7 @@ from repro.observatory.telemetry import (
     Counter,
     Gauge,
     NullTelemetry,
+    Ratio,
     Telemetry,
     Timing,
     resolve_telemetry,
@@ -47,10 +48,22 @@ class TestInstruments:
         assert row["flush_ms_max"] == pytest.approx(30.0, rel=0.25)
         assert t.drain("flush")["flush_n"] == 0  # drained
 
+    def test_ratio_drains_per_window(self):
+        r = Ratio()
+        r.mark(True)
+        r.mark(True)
+        r.mark(False)
+        row = r.drain("hit")
+        assert row["hit_n"] == 3
+        assert row["hit"] == pytest.approx(2 / 3, abs=1e-3)
+        # drained: next window starts from zero observations
+        assert r.drain("hit") == {"hit": 0.0, "hit_n": 0}
+
     def test_null_instrument_absorbs_everything(self):
         NULL_INSTRUMENT.inc()
         NULL_INSTRUMENT.set(1)
         NULL_INSTRUMENT.observe(0.1)
+        NULL_INSTRUMENT.mark(True)
 
 
 class TestRegistry:
@@ -83,10 +96,18 @@ class TestRegistry:
         t.snapshot(60.0)
         assert seen == [60.0]
 
+    def test_ratio_in_snapshot(self):
+        t = Telemetry()
+        t.ratio("server.topk", "etag_hit").mark(True)
+        rows = dict(t.snapshot())
+        assert rows["server.topk"]["etag_hit"] == 1.0
+        assert rows["server.topk"]["etag_hit_n"] == 1
+
     def test_null_telemetry_is_inert(self):
         assert NULL.enabled is False
         assert NULL.counter("a", "b") is NULL_INSTRUMENT
         assert NULL.timing("a", "b") is NULL_INSTRUMENT
+        assert NULL.ratio("a", "b") is NULL_INSTRUMENT
         NULL.register("a", lambda now: {})
         assert NULL.snapshot() == []
 

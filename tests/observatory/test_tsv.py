@@ -9,6 +9,7 @@ from repro.observatory.tsv import (
     filename_for,
     list_series,
     parse_filename,
+    read_series,
     read_tsv,
     unescape_key,
     write_tsv,
@@ -164,6 +165,129 @@ class TestListSeries:
 
     def test_missing_directory(self):
         assert list_series("/nonexistent/path") == []
+
+    def test_time_range_filter(self, tmp_path):
+        for start in (0, 60, 120, 180):
+            write_tsv(str(tmp_path), sample_data(start=start))
+        starts = lambda **kw: [s[3] for s in  # noqa: E731
+                               list_series(str(tmp_path), "srvip",
+                                           "minutely", **kw)]
+        assert starts(start_ts=60) == [60, 120, 180]
+        assert starts(end_ts=120) == [0, 60]
+        assert starts(start_ts=60, end_ts=180) == [60, 120]
+        # Overlap semantics: a window straddling the range start is in.
+        assert starts(start_ts=90, end_ts=121) == [60, 120]
+        assert starts(start_ts=1000) == []
+
+    def test_time_range_respects_granularity_length(self, tmp_path):
+        write_tsv(str(tmp_path),
+                  sample_data(start=0, granularity="hourly"))
+        # The hourly window [0, 3600) overlaps a range starting at 1800.
+        assert list_series(str(tmp_path), "srvip", "hourly",
+                           start_ts=1800)
+        assert list_series(str(tmp_path), "srvip", "hourly",
+                           start_ts=3600) == []
+
+
+class TestRangeReadSeries:
+    def test_default_reads_everything(self, tmp_path):
+        for start in (0, 60, 120):
+            write_tsv(str(tmp_path), sample_data(start=start))
+        assert [s.start_ts for s in read_series(str(tmp_path), "srvip")] \
+            == [0, 60, 120]
+
+    def test_range_skips_out_of_window_files(self, tmp_path):
+        for start in (0, 60, 120, 180):
+            write_tsv(str(tmp_path), sample_data(start=start))
+        loaded = read_series(str(tmp_path), "srvip",
+                             start_ts=60, end_ts=180)
+        assert [s.start_ts for s in loaded] == [60, 120]
+
+    def test_range_filter_never_opens_excluded_files(self, tmp_path):
+        write_tsv(str(tmp_path), sample_data(start=0))
+        # A corrupt out-of-range file must not be touched by the query.
+        bad = tmp_path / "srvip.minutely.0000864000.tsv"
+        bad.write_text("not\ta\tseries\n")
+        loaded = read_series(str(tmp_path), "srvip", end_ts=60)
+        assert [s.start_ts for s in loaded] == [0]
+
+
+class TestAtomicWrites:
+    def test_final_path_only_appears_via_replace(self, tmp_path,
+                                                 monkeypatch):
+        import os
+        observed = {}
+        real_replace = os.replace
+
+        def checked_replace(src, dst):
+            observed["src"] = src
+            observed["final_missing_before_replace"] = \
+                not os.path.exists(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", checked_replace)
+        path = write_tsv(str(tmp_path), sample_data())
+        assert observed["final_missing_before_replace"]
+        assert observed["src"].startswith(path + ".tmp.")
+        assert read_tsv(path).stats == {"seen": 200, "kept": 150}
+        # No stranded temporaries.
+        assert sorted(p.name for p in tmp_path.iterdir()) == \
+            [os.path.basename(path)]
+
+    def test_failed_write_leaves_directory_clean(self, tmp_path,
+                                                 monkeypatch):
+        import os
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            write_tsv(str(tmp_path), sample_data())
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_reader_while_writer_never_sees_torn_window(self, tmp_path):
+        """Regression: a reader polling the directory while a writer
+        rewrites windows must only ever parse complete files (the old
+        direct-to-final-path writer let ``read_tsv`` observe a header
+        with half the rows and no ``#stats`` line)."""
+        import threading
+
+        # Big enough that a non-atomic write spans several buffer
+        # flushes, giving the reader a real window to catch a torn file.
+        rows = [("key-%05d" % i, {"hits": i, "ok": i, "delay_q50": 0.5})
+                for i in range(4000)]
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for round_no in range(12):
+                    data = TimeSeriesData(
+                        "srvip", "minutely", 60, columns=rows[0][1].keys(),
+                        rows=rows, stats={"seen": round_no, "kept": round_no})
+                    write_tsv(str(tmp_path), data)
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            while not done.is_set():
+                for _, _, _, _ in list_series(str(tmp_path), "srvip"):
+                    pass
+                for path, _, _, _ in list_series(str(tmp_path), "srvip"):
+                    try:
+                        data = read_tsv(path)
+                    except FileNotFoundError:
+                        continue  # listed before a replace, gone after
+                    if len(data.rows) != len(rows) or "seen" not in data.stats:
+                        errors.append("torn read: %d rows, stats %r"
+                                      % (len(data.rows), data.stats))
+        finally:
+            thread.join()
+        assert not errors, errors[:3]
 
 
 def test_granularity_chain_consistent():

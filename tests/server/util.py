@@ -1,0 +1,51 @@
+"""Async test helpers: a tiny HTTP/1.1 client over asyncio streams."""
+
+import asyncio
+import gzip
+import json
+
+
+class ClientResponse:
+    def __init__(self, status, headers, body):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+    def json(self):
+        body = self.body
+        if self.headers.get("content-encoding") == "gzip":
+            body = gzip.decompress(body)
+        return json.loads(body.decode("utf-8"))
+
+
+async def read_response(reader):
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = int(headers.get("content-length", 0))
+    if length:
+        body = await reader.readexactly(length)
+    return ClientResponse(status, headers, body)
+
+
+async def http_get(port, target, headers=None, host="127.0.0.1",
+                   method="GET"):
+    """One-shot request on a fresh connection (Connection: close)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        lines = ["%s %s HTTP/1.1" % (method, target), "Host: test"]
+        for name, value in (headers or {}).items():
+            lines.append("%s: %s" % (name, value))
+        lines.append("Connection: close")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        await writer.drain()
+        return await read_response(reader)
+    finally:
+        writer.close()

@@ -80,6 +80,92 @@ def test_report_command(tmp_path, capsys):
     assert "fig2_srvip.csv" in names
 
 
+def _telemetry_fixture(tmp_path):
+    """Replay a short stream with --telemetry: srvip + _platform TSVs."""
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "11", "--duration", "180", "--qps", "20",
+          "-o", str(stream)])
+    outdir = tmp_path / "tsv"
+    main(["replay", str(stream), str(outdir),
+          "--datasets", "srvip", "--telemetry"])
+    return outdir
+
+
+def test_report_platform_healthy(tmp_path, capsys):
+    outdir = _telemetry_fixture(tmp_path)
+    capsys.readouterr()
+    rc = main(["report", "--platform", str(outdir)])
+    out = capsys.readouterr().out
+    assert "Platform health:" in out
+    assert "Alert verdicts" in out
+    assert "tracker.srvip" in out
+    assert rc in (0, 3)  # healthy fixture usually 0; 3 = rule tripping
+
+
+def test_report_platform_failing_rule_exits_3(tmp_path, capsys):
+    outdir = _telemetry_fixture(tmp_path)
+    rules = tmp_path / "rules.txt"
+    rules.write_text("impossible: tracker.*.capture_ratio >= 2.0\n")
+    capsys.readouterr()
+    rc = main(["report", "--platform", str(outdir),
+               "--rules", str(rules)])
+    assert rc == 3
+    out = capsys.readouterr().out
+    assert "FAIL" in out
+    assert "impossible" in out
+
+
+def test_report_platform_empty_directory(tmp_path, capsys):
+    rc = main(["report", "--platform", str(tmp_path)])
+    assert rc == 0
+    assert "No _platform series" in capsys.readouterr().out
+
+
+def test_serve_command_serves_fixture(tmp_path, capsys):
+    import asyncio
+    import threading
+
+    from repro import server as serving
+    from tests.server.util import http_get
+
+    outdir = _telemetry_fixture(tmp_path)
+    ready = threading.Event()
+    box = {}
+
+    def on_ready(srv):
+        box["server"] = srv
+        box["loop"] = asyncio.get_running_loop()
+        ready.set()
+
+    def run_server():
+        box["rc"] = serving.run(str(outdir), port=0, follow=True,
+                                ready_callback=on_ready)
+
+    thread = threading.Thread(target=run_server)
+    thread.start()
+    try:
+        assert ready.wait(10)
+        server = box["server"]
+        resp = asyncio.run(http_get(server.port, "/topk/srvip?n=3"))
+        assert resp.status == 200
+        assert len(resp.json()["top"]) >= 1
+        health = asyncio.run(http_get(server.port, "/platform/health"))
+        assert health.status == 200
+        assert health.json()["status"] in ("ok", "fail")
+    finally:
+        if "loop" in box:
+            box["loop"].call_soon_threadsafe(
+                box["server"].begin_shutdown)
+        thread.join(10)
+    assert not thread.is_alive()
+    assert box.get("rc") == 0
+
+
+def test_serve_rejects_bad_max_connections(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["serve", str(tmp_path), "--max-connections", "0"])
+
+
 @pytest.mark.parametrize("transport", ["pickle", "binary"])
 def test_replay_sharded_matches_single(tmp_path, capsys, transport):
     stream = tmp_path / "stream.tsv"

@@ -11,7 +11,14 @@ output directory per question.  This bench quantifies that:
   a running :class:`~repro.server.http.ObservatoryServer` whose store
   LRU is warm, measured over a keep-alive connection;
 * **index rebuild** -- opening the store with no manifest (full scan +
-  first-parse) vs reopening with the persisted manifest.
+  first-parse) vs reopening with the persisted manifest;
+* **bisected range lookup** -- the store's sorted-`start_ts` bisect
+  select vs a linear ``window_overlaps`` scan of the same ref list,
+  on a 50k-window index (a month of minutely windows);
+* **streamed memory** -- peak tracemalloc-tracked bytes while a
+  chunked ``/series`` response streams, for a 1-day vs a 30-day
+  hourly span: streaming must make the peak a constant (LRU-bound),
+  not a function of span length.
 
 Two entry points:
 
@@ -19,7 +26,10 @@ Two entry points:
   rates under ``benchmarks/results/``;
 * ``python benchmarks/bench_serve.py --check`` exits nonzero unless
   warm ``/topk`` and ``/series`` beat the cold baseline by
-  :data:`SPEEDUP_BOUND` -- the CI non-regression gate.
+  :data:`SPEEDUP_BOUND`, bisected range lookup beats the linear scan
+  by :data:`BISECT_BOUND`, and the 30-day streamed peak stays within
+  :data:`MEMORY_FLAT_BOUND` of the 1-day one -- the CI
+  non-regression gates.
 """
 
 import asyncio
@@ -28,6 +38,7 @@ import shutil
 import sys
 import tempfile
 import time
+import tracemalloc
 
 try:
     import pytest
@@ -36,11 +47,26 @@ except ImportError:  # pragma: no cover - script mode without pytest
 
 from repro.analysis.seriesops import accumulate_dumps, ranked_keys
 from repro.observatory.store import MANIFEST_NAME, SeriesStore
-from repro.observatory.tsv import TimeSeriesData, read_series, write_tsv
+from repro.observatory.tsv import (
+    TimeSeriesData,
+    filename_for,
+    read_series,
+    window_overlaps,
+    write_tsv,
+)
 from repro.server import build_server
 
 #: warm-cache HTTP queries must beat cold full-directory reads by this
 SPEEDUP_BOUND = 10.0
+
+#: bisected range select must beat the linear scan by this at 50k refs
+BISECT_BOUND = 10.0
+
+#: 30-day streamed /series peak memory vs 1-day: at most this ratio
+MEMORY_FLAT_BOUND = 2.0
+
+#: windows in the range-lookup index (a month of minutely windows)
+INDEX_WINDOWS = 50000
 
 DATASET = "srvip"
 WINDOWS = 48
@@ -158,6 +184,130 @@ def measure_rebuild(directory):
     return cold_s, warm_s
 
 
+# -- bisected range lookup vs linear scan -------------------------------
+
+def build_ref_index(directory, windows=INDEX_WINDOWS):
+    """A *windows*-ref index over zero-byte files: range selection
+    never opens a file, so the fixture only needs the names."""
+    for w in range(windows):
+        path = os.path.join(
+            directory, filename_for("big", "minutely", w * 60))
+        with open(path, "w"):
+            pass
+    return SeriesStore(directory, manifest=False)
+
+
+def measure_range_lookup(store, dataset="big", queries=50):
+    """(bisect_qps, linear_qps) for narrow range queries over the
+    same sorted ref list."""
+    refs = store.select(dataset)  # one up-front sort, as in serving
+    span = refs[-1].start_ts + 60
+    ranges = [(i * span // queries, i * span // queries + 600)
+              for i in range(queries)]
+
+    started = time.perf_counter()
+    for start_ts, end_ts in ranges:
+        store.select(dataset, "minutely", start_ts, end_ts)
+    bisect_qps = queries / (time.perf_counter() - started)
+
+    # the pre-index baseline: every query scans every ref
+    linear_queries = ranges[:10]
+    started = time.perf_counter()
+    for start_ts, end_ts in linear_queries:
+        [ref for ref in refs
+         if window_overlaps("minutely", ref.start_ts, start_ts, end_ts)]
+    linear_qps = len(linear_queries) / (time.perf_counter() - started)
+    return bisect_qps, linear_qps
+
+
+# -- streamed /series memory --------------------------------------------
+
+
+STREAM_DATASET = "span"
+STREAM_KEYS = 150
+
+
+def build_span_fixture(directory, days=30):
+    """Hourly windows covering *days* days: the long-span fixture the
+    streaming path must serve in constant memory."""
+    for w in range(days * 24):
+        rows = [("10.0.%d.%d" % (k // 250, k % 250),
+                 {"hits": float((k * 13 + w * 7) % 501 + 1),
+                  "bytes_rx": float(k + w),
+                  "nxdomains": float(k % 5)})
+                for k in range(STREAM_KEYS)]
+        write_tsv(directory, TimeSeriesData(
+            STREAM_DATASET, "hourly", w * 3600,
+            columns=["hits", "bytes_rx", "nxdomains"], rows=rows,
+            stats={"seen": STREAM_KEYS * 2, "kept": STREAM_KEYS}))
+    return directory
+
+
+async def _drain_chunked(reader):
+    """Read one chunked response, discarding the body; returns bytes."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    assert b"200" in head.split(b"\r\n", 1)[0], head
+    assert b"chunked" in head.lower(), head
+    total = 0
+    while True:
+        size = int((await reader.readline()).strip(), 16)
+        if size == 0:
+            await reader.readline()
+            return total
+        await reader.readexactly(size + 2)  # chunk + CRLF
+        total += size
+
+
+async def _stream_peak(directory, target):
+    """Peak tracemalloc bytes while *target* streams to completion.
+
+    The first pass warms the index metadata (per-ref row counts and
+    stats learned on first parse, which the manifest retains by
+    design and which scale with the span); the measured second pass
+    shows what streaming itself holds: one in-flight window plus the
+    bounded LRU, regardless of span length.
+    """
+    server, app = await build_server(directory, port=0,
+                                     stream_threshold=0,
+                                     cache_windows=16)
+
+    async def one_request():
+        reader, writer = await asyncio.open_connection(server.host,
+                                                       server.port)
+        try:
+            writer.write(("GET %s HTTP/1.1\r\nHost: bench\r\n"
+                          "Connection: close\r\n\r\n"
+                          % target).encode("ascii"))
+            await writer.drain()
+            return await _drain_chunked(reader)
+        finally:
+            writer.close()
+
+    try:
+        await one_request()  # warm pass: learn ref metadata
+        tracemalloc.start()
+        try:
+            body_bytes = await one_request()
+            peak = tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+    finally:
+        server.begin_shutdown()
+        await server.wait_closed()
+    return peak, body_bytes
+
+
+def measure_stream_memory(directory):
+    """((1-day peak, bytes), (30-day peak, bytes)) for streamed
+    /series over the hourly span fixture."""
+    day = asyncio.run(_stream_peak(
+        directory,
+        "/series/%s?granularity=hourly&end=86400" % STREAM_DATASET))
+    month = asyncio.run(_stream_peak(
+        directory, "/series/%s?granularity=hourly" % STREAM_DATASET))
+    return day, month
+
+
 # -- the CI gate --------------------------------------------------------
 
 def check_speedup(directory=None, bound=SPEEDUP_BOUND):
@@ -186,6 +336,44 @@ def check_speedup(directory=None, bound=SPEEDUP_BOUND):
     finally:
         if tmp is not None:
             shutil.rmtree(tmp, ignore_errors=True)
+
+
+def check_bisect(bound=BISECT_BOUND, windows=INDEX_WINDOWS):
+    """Bisected range select must beat the linear scan; (ok, report)."""
+    tmp = tempfile.mkdtemp(prefix="bench-bisect-")
+    try:
+        store = build_ref_index(tmp, windows=windows)
+        bisect_qps, linear_qps = measure_range_lookup(store)
+        speedup = bisect_qps / linear_qps
+        report = (
+            "range-lookup bench (%d-window manifest): bisect %.0f q/s, "
+            "linear scan %.1f q/s -> %.0fx (bound %.0fx)"
+            % (windows, bisect_qps, linear_qps, speedup, bound))
+        return speedup >= bound, report
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def check_stream_memory(bound=MEMORY_FLAT_BOUND):
+    """Streamed /series peak memory must be span-independent."""
+    tmp = tempfile.mkdtemp(prefix="bench-stream-")
+    try:
+        build_span_fixture(tmp, days=30)
+        (day_peak, day_bytes), (month_peak, month_bytes) = \
+            measure_stream_memory(tmp)
+        ratio = month_peak / day_peak if day_peak else float("inf")
+        report = (
+            "streamed /series memory: 1-day span %.0f KiB body, "
+            "%.0f KiB peak; 30-day span %.0f KiB body, %.0f KiB peak "
+            "-> %.2fx peak for %.0fx body (bound %.1fx)"
+            % (day_bytes / 1024, day_peak / 1024, month_bytes / 1024,
+               month_peak / 1024, ratio,
+               month_bytes / day_bytes if day_bytes else 0, bound))
+        # sanity: the long span really is much bigger on the wire
+        ok = ratio <= bound and month_bytes >= 10 * day_bytes
+        return ok, report
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 if pytest is not None:
@@ -233,6 +421,22 @@ if pytest is not None:
                 "%s only %.1fx faster than cold" % (target,
                                                     qps / cold_qps)
 
+    def test_bisect_beats_linear_scan(tmp_path):
+        from benchmarks.conftest import save_result
+
+        # a smaller index than the --check gate keeps the suite quick;
+        # the speedup grows with index size, so this bound is safe
+        ok, report = check_bisect(bound=BISECT_BOUND / 2, windows=5000)
+        save_result("serve_bisect", report)
+        assert ok, report
+
+    def test_streamed_series_memory_flat(tmp_path):
+        from benchmarks.conftest import save_result
+
+        ok, report = check_stream_memory()
+        save_result("serve_stream_memory", report)
+        assert ok, report
+
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
@@ -240,9 +444,14 @@ def main(argv=None):
         print("usage: python benchmarks/bench_serve.py --check",
               file=sys.stderr)
         return 2
-    ok, report = check_speedup()
-    print(report)
-    return 0 if ok else 1
+    failures = 0
+    for gate in (check_speedup, check_bisect, check_stream_memory):
+        ok, report = gate()
+        print(report)
+        if not ok:
+            failures += 1
+            print("FAIL: %s" % gate.__name__, file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -225,7 +225,8 @@ def cmd_serve(args):
         args.directory, host=args.host, port=args.port,
         follow=args.follow, cache_windows=args.cache_windows,
         rules=_load_rules(args.rules),
-        max_connections=args.max_connections, ready_callback=ready)
+        max_connections=args.max_connections, ready_callback=ready,
+        stream_threshold=args.stream_threshold)
 
 
 def build_parser():
@@ -289,9 +290,18 @@ def build_parser():
 
     p = sub.add_parser("serve", help="HTTP query API over TSV series")
     p.add_argument("directory", help="replay/aggregate output directory")
-    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback only: the API "
+                        "has no auth, so exposing it beyond the host "
+                        "is an explicit decision -- front 0.0.0.0 "
+                        "with a real proxy)")
     p.add_argument("--port", type=int, default=8053,
                    help="listen port (0 = pick a free port)")
+    p.add_argument("--stream-threshold", type=int, default=None,
+                   metavar="BYTES",
+                   help="stream (chunked) /series and /key answers "
+                        "whose backing files exceed BYTES (default "
+                        "256 KiB); 0 streams everything with a body")
     p.add_argument("--follow", action="store_true",
                    help="re-scan the directory per query so windows "
                         "flushed by a live replay/aggregate writer "

@@ -25,13 +25,25 @@ a store that a collector is appending to live.
 * a **bounded LRU** of parsed windows -- the hot working set (recent
   windows, popular ranges) is served from memory; everything else
   falls back to one bounded parse, not a directory scan;
+* a **bisected range index** -- each series' refs stay sorted by
+  ``start_ts``, so a range query is two :func:`bisect.bisect` calls
+  and a slice, O(log n + answer) instead of a linear scan of every
+  indexed window (a year of minutely windows is ~525k refs;
+  ``benchmarks/bench_serve.py --check`` gates the speedup);
 * **query primitives** -- :meth:`datasets`, :meth:`select`,
   :meth:`read`, :meth:`accumulate`, :meth:`topk`, :meth:`key_series`
   -- the vocabulary the analysis modules, ``repro report`` and
   :mod:`repro.server` share instead of each re-implementing loops
-  over ``read_series``.
+  over ``read_series``; plus the **streaming iterators**
+  :meth:`iter_windows` / :meth:`iter_range` /
+  :meth:`iter_topk_windows`, which yield parsed windows one at a
+  time through the LRU so a long-range consumer (the chunked
+  ``/series`` response, a whole-range accumulation) never holds more
+  than one window plus the LRU in memory.
 """
 
+import bisect
+import heapq
 import json
 import os
 import threading
@@ -41,7 +53,6 @@ from repro.observatory.tsv import (
     GRANULARITIES,
     parse_filename,
     read_tsv,
-    window_overlaps,
 )
 
 #: manifest filename, stored inside the series directory
@@ -86,6 +97,70 @@ class WindowRef:
         exact immutable file revision this response was built from."""
         return "%s:%d:%d" % (os.path.basename(self.path),
                              self.mtime_ns, self.size)
+
+
+class _SeriesIndex:
+    """One (dataset, granularity) series: refs sorted by ``start_ts``.
+
+    Appends are O(1) and only mark the order dirty; the sort happens
+    once per batch of changes (a refresh over a big directory, a
+    manifest load) instead of once per inserted ref, and every query
+    then answers with :func:`bisect.bisect` over the parallel
+    ``starts`` list -- no linear scan of the ref list.
+    """
+
+    __slots__ = ("refs", "starts", "_dirty")
+
+    def __init__(self):
+        self.refs = []
+        self.starts = []
+        self._dirty = False
+
+    def append(self, ref):
+        self.refs.append(ref)
+        self._dirty = True
+
+    def remove(self, ref):
+        self._ensure_sorted()
+        i = bisect.bisect_left(self.starts, ref.start_ts)
+        while i < len(self.refs) and \
+                self.refs[i].start_ts == ref.start_ts:
+            if self.refs[i].path == ref.path:
+                del self.refs[i]
+                del self.starts[i]
+                return
+            i += 1
+
+    def _ensure_sorted(self):
+        if self._dirty:
+            self.refs.sort(key=lambda r: r.start_ts)
+            self.starts = [r.start_ts for r in self.refs]
+            self._dirty = False
+
+    def sorted_refs(self):
+        self._ensure_sorted()
+        return self.refs
+
+    def range(self, window_seconds, start_ts=None, end_ts=None):
+        """Refs overlapping ``[start_ts, end_ts)`` -- the same
+        half-open contract as
+        :func:`~repro.observatory.tsv.window_overlaps`, answered with
+        two bisections and a slice.  Windows of one granularity all
+        have length *window_seconds*, so a window overlaps iff
+        ``start_ts - window_seconds < ref.start_ts < end_ts``.
+        """
+        self._ensure_sorted()
+        lo = 0
+        hi = len(self.refs)
+        if start_ts is not None:
+            lo = bisect.bisect_right(self.starts,
+                                     start_ts - window_seconds)
+        if end_ts is not None:
+            hi = bisect.bisect_left(self.starts, end_ts, lo)
+        return self.refs[lo:hi]
+
+    def __len__(self):
+        return len(self.refs)
 
 
 class SeriesStore:
@@ -192,10 +267,8 @@ class SeriesStore:
         if old is not None:
             self._remove_from_series(old)
         self._index[ref.path] = ref
-        series = self._by_series.setdefault(
-            ref.dataset, {}).setdefault(ref.granularity, [])
-        series.append(ref)
-        series.sort(key=lambda r: r.start_ts)
+        self._by_series.setdefault(ref.dataset, {}).setdefault(
+            ref.granularity, _SeriesIndex()).append(ref)
 
     def _drop_ref(self, path):
         ref = self._index.pop(path, None)
@@ -210,8 +283,8 @@ class SeriesStore:
         series = grans.get(ref.granularity)
         if series is None:
             return
-        grans[ref.granularity] = [r for r in series if r.path != ref.path]
-        if not grans[ref.granularity]:
+        series.remove(ref)
+        if not series:
             del grans[ref.granularity]
             if not grans:
                 del self._by_series[ref.dataset]
@@ -284,7 +357,8 @@ class SeriesStore:
             out = {}
             for dataset, grans in sorted(self._by_series.items()):
                 out[dataset] = {}
-                for gran, refs in grans.items():
+                for gran, series in grans.items():
+                    refs = series.sorted_refs()
                     out[dataset][gran] = {
                         "windows": len(refs),
                         "first_ts": refs[0].start_ts,
@@ -295,15 +369,17 @@ class SeriesStore:
     def select(self, dataset, granularity="minutely",
                start_ts=None, end_ts=None):
         """Index entries (:class:`WindowRef`) overlapping the range,
-        sorted by start time.  No file is opened."""
+        sorted by start time.  No file is opened; the range is
+        answered by bisection on ``start_ts``, not a scan."""
         self._maybe_refresh()
         with self._lock:
-            refs = self._by_series.get(dataset, {}).get(granularity, [])
+            series = self._by_series.get(dataset, {}).get(granularity)
+            if series is None:
+                return []
             if start_ts is None and end_ts is None:
-                return list(refs)
-            return [ref for ref in refs
-                    if window_overlaps(granularity, ref.start_ts,
-                                       start_ts, end_ts)]
+                return list(series.sorted_refs())
+            return series.range(GRANULARITIES[granularity],
+                                start_ts, end_ts)
 
     def read(self, dataset, granularity="minutely",
              start_ts=None, end_ts=None):
@@ -321,6 +397,45 @@ class SeriesStore:
     def read_window(self, ref):
         """Parse (or fetch from cache) one indexed window."""
         return self._read_ref(ref)
+
+    # -- streaming iterators -------------------------------------------
+
+    def iter_windows(self, refs):
+        """Yield parsed windows for *refs* one at a time through the
+        LRU.
+
+        The incremental read path: a consumer (the chunked ``/series``
+        encoder, :meth:`accumulate`) holds one parsed window at a time
+        instead of the whole range, so memory stays O(LRU), not
+        O(span).  Each window is read atomically under the store lock
+        before it is yielded, so abandoning the generator mid-range --
+        an HTTP client disconnecting mid-stream -- leaves the LRU with
+        only complete entries.
+        """
+        for ref in refs:
+            yield self._read_ref(ref)
+
+    def iter_range(self, dataset, granularity="minutely",
+                   start_ts=None, end_ts=None):
+        """Streaming counterpart of :meth:`read`: a generator of
+        parsed windows over the range, in time order."""
+        return self.iter_windows(self.select(dataset, granularity,
+                                             start_ts, end_ts))
+
+    def iter_topk_windows(self, dataset, n=10, by="hits",
+                          granularity="minutely", start_ts=None,
+                          end_ts=None):
+        """Per-window top-*n* stream: yields ``(start_ts, top)`` per
+        window in the range, where *top* is the window's *n* heaviest
+        ``(key, row)`` pairs by column *by*.  One window is ranked at
+        a time (``heapq.nlargest``), so a long span never materializes
+        beyond the current window."""
+        n = max(int(n), 0)
+        for data in self.iter_range(dataset, granularity,
+                                    start_ts, end_ts):
+            top = heapq.nlargest(
+                n, data.rows, key=lambda kv: kv[1].get(by, 0))
+            yield data.start_ts, top
 
     def read_path(self, path):
         """Read one window by file path through the LRU.
@@ -384,7 +499,9 @@ class SeriesStore:
             if rows is not None:
                 self._accumulated.move_to_end(signature)
                 return rows
-        rows = accumulate_dumps([self._read_ref(ref) for ref in refs])
+        # stream one window at a time through the LRU: accumulating a
+        # year-long range must not hold every parsed window at once
+        rows = accumulate_dumps(self.iter_windows(refs))
         with self._lock:
             self._accumulated[signature] = rows
             self._accumulated.move_to_end(signature)
@@ -407,7 +524,8 @@ class SeriesStore:
         """One key's per-window time series: ``[(start_ts, value)]``
         over every window in the range (0 where the key is absent)."""
         series = []
-        for data in self.read(dataset, granularity, start_ts, end_ts):
+        for data in self.iter_range(dataset, granularity,
+                                    start_ts, end_ts):
             row = data.row_map().get(key)
             series.append((data.start_ts,
                            row.get(column, 0) if row is not None else 0))
@@ -416,7 +534,8 @@ class SeriesStore:
     def has_key(self, dataset, key, granularity="minutely",
                 start_ts=None, end_ts=None):
         """Does *key* appear in any window of the range?"""
-        for data in self.read(dataset, granularity, start_ts, end_ts):
+        for data in self.iter_range(dataset, granularity,
+                                    start_ts, end_ts):
             if key in data.row_map():
                 return True
         return False

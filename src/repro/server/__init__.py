@@ -36,20 +36,30 @@ __all__ = [
 
 async def build_server(directory, host="127.0.0.1", port=8053,
                        follow=False, cache_windows=256, rules=None,
-                       max_connections=64, store=None, telemetry=None):
+                       max_connections=64, store=None, telemetry=None,
+                       stream_threshold=None):
     """Wire store + app + server and start listening.
+
+    The default bind is loopback: the API has no auth story, so
+    exposing it beyond the host is an explicit operator decision
+    (``--host 0.0.0.0`` behind a real proxy).
 
     Returns ``(server, app)``; the caller drives
     ``server.serve_forever()`` (or ``wait_closed`` after
     ``begin_shutdown`` in tests).
     """
+    from repro.server.app import STREAM_THRESHOLD_BYTES
+
     registry = telemetry if telemetry is not None else Telemetry()
     if store is None:
         store = SeriesStore(directory, cache_windows=cache_windows,
                             follow=follow, telemetry=registry)
     app = ObservatoryApp(store,
                          rules=DEFAULT_RULES if rules is None else rules,
-                         telemetry=registry)
+                         telemetry=registry,
+                         stream_threshold=STREAM_THRESHOLD_BYTES
+                         if stream_threshold is None
+                         else stream_threshold)
     server = ObservatoryServer(app, host=host, port=port,
                                max_connections=max_connections)
     app.server = server
@@ -59,14 +69,15 @@ async def build_server(directory, host="127.0.0.1", port=8053,
 
 def run(directory, host="127.0.0.1", port=8053, follow=False,
         cache_windows=256, rules=None, max_connections=64,
-        ready_callback=None):
+        ready_callback=None, stream_threshold=None):
     """Blocking entry point for ``dns-observatory serve``."""
 
     async def _main():
         server, app = await build_server(
             directory, host=host, port=port, follow=follow,
             cache_windows=cache_windows, rules=rules,
-            max_connections=max_connections)
+            max_connections=max_connections,
+            stream_threshold=stream_threshold)
         if ready_callback is not None:
             ready_callback(server)
         try:

@@ -5,7 +5,9 @@ Endpoints (all GET):
 * ``/datasets`` -- index summary: every dataset, granularity, window
   count and covered time span (no file opens);
 * ``/series/<dataset>`` -- per-window rows over a time range
-  (``granularity=``, ``start=``, ``end=``, ``limit=`` newest windows);
+  (``granularity=``, ``start=``, ``end=``, ``limit=`` newest windows;
+  ``cursor=`` pages forward from a start timestamp, the response's
+  ``next_cursor`` feeding the next page);
 * ``/topk/<dataset>`` -- top-``n`` keys ranked ``by=`` a column over a
   range (the paper's "top-k FQDNs now" question);
 * ``/key/<dataset>/<key>`` -- one key's ``column=`` time series;
@@ -19,12 +21,24 @@ turns a repeat poll into a 304 with no body and no window parses, and
 rendered 200 bodies are memoized by (route, ETag) so an unconditional
 repeat query over unchanged windows skips the re-accumulation and
 re-encoding too.
-Per-endpoint latency and conditional-hit instruments live in the
-shared :mod:`repro.observatory.telemetry` registry, so a served store
-is monitorable with the same machinery as the ingest pipeline.
+
+``/series`` and ``/key`` answers whose backing files exceed
+``stream_threshold`` bytes bypass the rendered-body cache and go out
+as a :class:`~repro.server.http.StreamingResponse` instead: the JSON
+document is encoded from the store's window iterator one fragment at
+a time (ETag still computed -- and 304s still short-circuit -- before
+the first chunk), so server memory for a yearly span is bounded by
+the store LRU, not the span.  Both paths render from the same
+fragment generator, so a streamed body is byte-identical to a
+buffered one.
+Per-endpoint latency, conditional-hit, streamed-bytes and
+first-byte-latency instruments live in the shared
+:mod:`repro.observatory.telemetry` registry, so a served store is
+monitorable with the same machinery as the ingest pipeline.
 """
 
 import hashlib
+import json
 import time
 from collections import OrderedDict
 
@@ -32,7 +46,7 @@ from repro.observatory import alerts
 from repro.observatory.telemetry import PLATFORM_DATASET, resolve_telemetry
 from repro.observatory.tsv import GRANULARITIES
 
-from repro.server.http import HttpError, Response
+from repro.server.http import HttpError, Response, StreamingResponse
 
 #: hard ceiling on /topk n= (a typo must not serialize a million rows)
 MAX_TOPK = 10000
@@ -43,6 +57,10 @@ MAX_WINDOWS = 5000
 #: rendered 200 bodies kept per app, keyed by (route, ETag) -- the
 #: windows behind an ETag are immutable, so the JSON encoding is too
 RESPONSE_CACHE = 128
+
+#: answers computed from more than this many bytes of backing TSV are
+#: streamed (chunked transfer-encoding) and bypass the body cache
+STREAM_THRESHOLD_BYTES = 256 * 1024
 
 
 class ObservatoryApp:
@@ -63,15 +81,20 @@ class ObservatoryApp:
     server:
         Optional :class:`~repro.server.http.ObservatoryServer`, used
         to include connection stats in health output.
+    stream_threshold:
+        Byte size of the backing files above which ``/series`` and
+        ``/key`` answers stream (chunked) instead of materializing;
+        0 streams everything with a body.
     """
 
     ROUTES = ("datasets", "series", "topk", "key", "platform")
 
     def __init__(self, store, rules=alerts.DEFAULT_RULES, telemetry=None,
-                 server=None):
+                 server=None, stream_threshold=STREAM_THRESHOLD_BYTES):
         self.store = store
         self.rules = list(rules)
         self.server = server
+        self.stream_threshold = int(stream_threshold)
         self.telemetry = resolve_telemetry(telemetry)
         self.started_at = time.time()
         self._latency = {
@@ -84,6 +107,15 @@ class ObservatoryApp:
         }
         self._etag_hits = {
             route: self.telemetry.ratio("server.%s" % route, "etag_hit")
+            for route in self.ROUTES
+        }
+        self._streamed = {
+            route: self.telemetry.counter("server.%s" % route,
+                                          "streamed_bytes")
+            for route in self.ROUTES
+        }
+        self._first_byte = {
+            route: self.telemetry.timing("server.%s" % route, "first_byte")
             for route in self.ROUTES
         }
         self._errors = self.telemetry.counter("server", "errors")
@@ -221,6 +253,97 @@ class ObservatoryApp:
             self._body_cache.move_to_end(key)
         return Response(200, body, {"ETag": etag})
 
+    # -- incremental JSON encoding -------------------------------------
+
+    @staticmethod
+    def _json_fragments(meta, tail_key, entries):
+        """Incrementally encode ``{**meta, tail_key: [*entries]}``.
+
+        Yields text fragments whose concatenation is byte-identical to
+        ``Response.json`` over the materialized payload (compact
+        separators, sorted keys, trailing newline) -- required because
+        the buffered path, the body cache and the streamed path must
+        all produce the same entity for one ETag.  *tail_key* must
+        sort after every key in *meta* so the entry array can go last.
+        """
+        head = json.dumps(meta, separators=(",", ":"), sort_keys=True)
+        yield "%s%s%s:[" % (head[:-1], "," if len(head) > 2 else "",
+                            json.dumps(tail_key))
+        first = True
+        for entry in entries:
+            fragment = json.dumps(entry, separators=(",", ":"),
+                                  sort_keys=True)
+            yield fragment if first else "," + fragment
+            first = False
+        yield "]}\n"
+
+    def _window_entries(self, refs):
+        """One ``/series`` window object per ref, parsed lazily
+        through the store LRU (one window in flight at a time)."""
+        for ref in refs:
+            data = self.store.read_window(ref)
+            yield {
+                "start_ts": data.start_ts,
+                "end_ts": ref.end_ts,
+                "stats": data.stats,
+                "rows": [[key, row] for key, row in data.rows],
+            }
+
+    def _key_points(self, refs, key, column):
+        """One ``[start_ts, value]`` point per window for ``/key``."""
+        for data in self.store.iter_windows(refs):
+            row = data.row_map().get(key)
+            yield [data.start_ts,
+                   row.get(column, 0) if row is not None else 0]
+
+    def _should_stream(self, refs):
+        """Stream when the backing files outweigh the threshold --
+        the TSV byte size is a good proxy for the JSON body size, and
+        it is known without opening anything."""
+        return sum(ref.size for ref in refs) > self.stream_threshold
+
+    def _fragment_response(self, route, request, etag, fragments_fn,
+                           stream):
+        """304 / streamed / cached-or-materialized from one encoder.
+
+        The conditional check runs before anything is encoded, so a
+        matching ``If-None-Match`` never parses a window or emits a
+        chunk.  Streamed answers bypass the rendered-body cache (they
+        exist to *not* materialize); buffered ones join it.
+        """
+        if etag in request.if_none_match():
+            return Response.not_modified(etag)
+        if stream:
+            return self._stream(route, fragments_fn(), etag)
+        key = (route, etag)
+        body = self._body_cache.get(key)
+        if body is None:
+            body = "".join(fragments_fn()).encode("utf-8")
+            self._body_cache[key] = body
+            while len(self._body_cache) > RESPONSE_CACHE:
+                self._body_cache.popitem(last=False)
+        else:
+            self._body_cache.move_to_end(key)
+        return Response(200, body, {"ETag": etag})
+
+    def _stream(self, route, fragments, etag):
+        """Wrap *fragments* with the per-route streamed-bytes counter
+        and first-byte-latency timing, return a StreamingResponse."""
+        streamed = self._streamed[route]
+        first_byte = self._first_byte[route]
+        started = time.perf_counter()
+
+        def instrumented():
+            first = True
+            for fragment in fragments:
+                if first:
+                    first_byte.observe(time.perf_counter() - started)
+                    first = False
+                streamed.inc(len(fragment))
+                yield fragment
+
+        return StreamingResponse(instrumented(), headers={"ETag": etag})
+
     # -- endpoints -----------------------------------------------------
 
     def handle_datasets(self, request):
@@ -237,28 +360,39 @@ class ObservatoryApp:
         start, end = self._range(request)
         limit = self._int_param(request, "limit", MAX_WINDOWS, 1,
                                 MAX_WINDOWS)
+        cursor = self._float_param(request, "cursor")
         refs = self._select_known(dataset, granularity, start, end)
-        refs = refs[-limit:]  # newest windows win under a limit
+        next_cursor = None
+        if cursor is not None:
+            # paging mode: oldest-first from the cursor (inclusive);
+            # refs are sorted by start_ts, so bisect to the cursor
+            lo, hi = 0, len(refs)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if refs[mid].start_ts < cursor:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            if lo + limit < len(refs):
+                next_cursor = refs[lo + limit].start_ts
+            refs = refs[lo:lo + limit]
+        else:
+            refs = refs[-limit:]  # newest windows win under a limit
         etag = self._etag(refs, dataset, granularity, request.raw_query)
+        meta = {
+            "dataset": dataset,
+            "granularity": granularity,
+            "next_cursor": next_cursor,
+            "window_count": len(refs),
+        }
 
-        def build():
-            windows = []
-            for ref in refs:
-                data = self.store.read_window(ref)
-                windows.append({
-                    "start_ts": data.start_ts,
-                    "end_ts": ref.end_ts,
-                    "stats": data.stats,
-                    "rows": [[key, row] for key, row in data.rows],
-                })
-            return {
-                "dataset": dataset,
-                "granularity": granularity,
-                "windows": windows,
-                "window_count": len(windows),
-            }
+        def fragments():
+            return self._json_fragments(meta, "windows",
+                                        self._window_entries(refs))
 
-        return self._conditional_json("series", request, etag, build)
+        return self._fragment_response("series", request, etag,
+                                       fragments,
+                                       self._should_stream(refs))
 
     def handle_topk(self, request, dataset):
         granularity = self._granularity(request)
@@ -291,24 +425,29 @@ class ObservatoryApp:
         refs = self._select_known(dataset, granularity, start, end)
         etag = self._etag(refs, dataset, granularity, key,
                           request.raw_query)
+        if etag in request.if_none_match():
+            return Response.not_modified(etag)
+        # the 404 contract must be decided before the first chunk goes
+        # out (a streamed status line cannot be unsent); the scan runs
+        # through the window LRU, so the 200 path reuses the parses
+        if not self.store.has_key(dataset, key, granularity,
+                                  start_ts=start, end_ts=end):
+            raise HttpError(404, "key %r not found in dataset %r"
+                            % (key, dataset))
+        meta = {
+            "dataset": dataset,
+            "key": key,
+            "column": column,
+            "granularity": granularity,
+        }
 
-        def build():
-            if not self.store.has_key(dataset, key, granularity,
-                                      start_ts=start, end_ts=end):
-                raise HttpError(404, "key %r not found in dataset %r"
-                                % (key, dataset))
-            series = self.store.key_series(dataset, key, column=column,
-                                           granularity=granularity,
-                                           start_ts=start, end_ts=end)
-            return {
-                "dataset": dataset,
-                "key": key,
-                "column": column,
-                "granularity": granularity,
-                "series": [[ts, value] for ts, value in series],
-            }
+        def fragments():
+            return self._json_fragments(meta, "series",
+                                        self._key_points(refs, key,
+                                                         column))
 
-        return self._conditional_json("key", request, etag, build)
+        return self._fragment_response("key", request, etag, fragments,
+                                       self._should_stream(refs))
 
     def handle_health(self, request):
         granularity = self._granularity(request)

@@ -7,6 +7,19 @@ responses, a hard connection cap with 503 + ``Retry-After``
 backpressure, and graceful drain on SIGTERM.  Everything
 application-level (routing, JSON bodies, instrumentation) lives in
 :mod:`repro.server.app`; this module only moves bytes.
+
+Two response shapes:
+
+* :class:`Response` -- a fully materialized body, sent with
+  ``Content-Length`` (unchanged pre-streaming behaviour);
+* :class:`StreamingResponse` -- an *iterator* of body fragments, sent
+  with ``Transfer-Encoding: chunked`` so the server never holds the
+  whole body: a yearly ``/series`` span is encoded and written one
+  window at a time.  Chunked composes with gzip (one incremental
+  :func:`zlib.compressobj` stream across all fragments) and
+  keep-alive; a client that disconnects mid-stream just closes the
+  fragment iterator -- the server survives and its connection slot is
+  released.
 """
 
 import asyncio
@@ -15,6 +28,7 @@ import json
 import logging
 import signal
 import socket
+import zlib
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 logger = logging.getLogger(__name__)
@@ -24,6 +38,10 @@ MAX_REQUEST_HEAD = 16 * 1024
 
 #: bodies below this size are not worth compressing
 GZIP_MIN_BYTES = 256
+
+#: streamed fragments are coalesced into chunk frames of about this
+#: size, so a row-per-fragment encoder does not emit a syscall per row
+CHUNK_TARGET_BYTES = 16 * 1024
 
 #: idle keep-alive connections are dropped after this many seconds
 KEEPALIVE_TIMEOUT = 30.0
@@ -154,6 +172,96 @@ def render_response(response, request=None, close=False):
         lines.append("%s: %s" % (name, value))
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
+
+
+class StreamingResponse:
+    """Status + headers + an iterator of body fragments.
+
+    *chunks* yields ``str`` (encoded as UTF-8) or ``bytes`` fragments;
+    they are framed as HTTP/1.1 chunked transfer-encoding by
+    :func:`write_streaming_response`, so the response body never
+    exists in one piece on the server.  Conditional handling happens
+    *before* construction: the app computes the strong ETag from the
+    file revisions it is about to stream and answers 304 without ever
+    creating the iterator.
+    """
+
+    __slots__ = ("status", "chunks", "headers", "content_type")
+
+    def __init__(self, chunks, status=200, headers=None,
+                 content_type="application/json"):
+        self.status = status
+        self.chunks = chunks
+        self.headers = dict(headers or {})
+        self.content_type = content_type
+
+    def close(self):
+        """Release the fragment iterator (disconnect, error paths)."""
+        close = getattr(self.chunks, "close", None)
+        if close is not None:
+            close()
+
+
+def _chunk_frame(data):
+    """One chunked transfer-encoding frame: hex size, CRLF, data, CRLF."""
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
+async def write_streaming_response(writer, response, request=None,
+                                   close=False):
+    """Send a :class:`StreamingResponse` as chunked frames.
+
+    Fragments are coalesced to ~:data:`CHUNK_TARGET_BYTES` frames and
+    compressed incrementally when the client negotiated gzip (one
+    gzip stream across the whole body -- ``Content-Encoding: gzip``
+    composes with ``Transfer-Encoding: chunked``).  Returns ``True``
+    when the terminal ``0\\r\\n\\r\\n`` frame was written, ``False``
+    when the client went away mid-stream; either way the fragment
+    iterator is closed, and a ``False`` return obliges the caller to
+    drop the connection (the framing is unfinished).
+    """
+    compressor = None
+    headers = dict(response.headers)
+    if request is not None and request.wants_gzip() and \
+            response.status == 200:
+        compressor = zlib.compressobj(6, zlib.DEFLATED,
+                                      16 + zlib.MAX_WBITS)
+        headers["Content-Encoding"] = "gzip"
+        headers["Vary"] = "Accept-Encoding"
+    headers.setdefault("Content-Type", response.content_type)
+    headers["Transfer-Encoding"] = "chunked"
+    headers["Connection"] = "close" if close else "keep-alive"
+    lines = ["HTTP/1.1 %d %s" % (response.status,
+                                 REASONS.get(response.status, "Unknown"))]
+    for name, value in headers.items():
+        lines.append("%s: %s" % (name, value))
+    writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    try:
+        pending = bytearray()
+        for fragment in response.chunks:
+            if isinstance(fragment, str):
+                fragment = fragment.encode("utf-8")
+            if compressor is not None:
+                fragment = compressor.compress(fragment)
+            pending += fragment
+            if len(pending) >= CHUNK_TARGET_BYTES:
+                writer.write(_chunk_frame(bytes(pending)))
+                pending.clear()
+                await writer.drain()
+        if compressor is not None:
+            pending += compressor.flush()
+        if pending:
+            writer.write(_chunk_frame(bytes(pending)))
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return True
+    except (ConnectionError, OSError):
+        # mid-stream disconnect: abandon the body, surface "drop the
+        # connection" to the caller; the iterator is closed below so
+        # upstream generators (the store read path) unwind cleanly
+        return False
+    finally:
+        response.close()
 
 
 class ObservatoryServer:
@@ -302,8 +410,13 @@ class ObservatoryServer:
                                          request.path)
                         response = Response.error(
                             500, "internal server error")
-                writer.write(render_response(response, request, close))
-                await writer.drain()
+                if isinstance(response, StreamingResponse):
+                    if not await write_streaming_response(
+                            writer, response, request, close):
+                        return  # client vanished mid-stream
+                else:
+                    writer.write(render_response(response, request, close))
+                    await writer.drain()
                 if close:
                     return
         except (ConnectionError, OSError):

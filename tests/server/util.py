@@ -29,9 +29,19 @@ async def read_response(reader):
         name, _, value = line.partition(":")
         headers[name.strip().lower()] = value.strip()
     body = b""
-    length = int(headers.get("content-length", 0))
-    if length:
-        body = await reader.readexactly(length)
+    if headers.get("transfer-encoding") == "chunked":
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip(), 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF after 0-chunk
+                break
+            body += await reader.readexactly(size)
+            await reader.readexactly(2)  # CRLF after each chunk
+    else:
+        length = int(headers.get("content-length", 0))
+        if length:
+            body = await reader.readexactly(length)
     return ClientResponse(status, headers, body)
 
 

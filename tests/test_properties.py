@@ -1,16 +1,21 @@
 """Cross-module property-based tests: system-level invariants."""
 
+import os
 import random
+import threading
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.dnswire.constants import QTYPE, RCODE
 from repro.observatory.aggregate import aggregate_series
 from repro.observatory.pipeline import Observatory
+from repro.observatory.store import SeriesStore
 from repro.observatory.transaction import Transaction
-from repro.observatory.tsv import TimeSeriesData, read_tsv, write_tsv
+from repro.observatory.tsv import (
+    TimeSeriesData, escape_key, filename_for, list_series, read_series,
+    read_tsv, unescape_key, write_tsv)
 from tests.util import make_nxdomain, make_txn
 
 # -- strategies ---------------------------------------------------------
@@ -201,3 +206,185 @@ def test_split_streams_merge_like_one_observatory(txns, salt):
         assert merged.rate(entry.key, now) == \
             pytest.approx(whole.cache.rate(entry.key, now), rel=1e-9)
         assert merged.get(entry.key).hits == entry.hits
+
+
+# -- randomized differential harness ------------------------------------
+#
+# The strongest correctness statement the system can make is that its
+# independently-built paths agree: the sharded multiprocess pipeline
+# against the single-process one on the same randomized stream, and the
+# indexed store's query answers against a raw directory scan on the
+# same tree.  Each seed below drives the simulator's RNG, so every
+# seed is a different workload.
+
+DIFF_SEEDS = [7, 1017, 2019, 31337, 424242]
+
+
+def _tsv_tree(directory):
+    """``{filename: data lines}`` for every series file in *directory*.
+
+    ``_platform`` files and ``#stats`` lines are each mode's own vital
+    signs (telemetry rows and flush accounting legitimately differ
+    between one process and two), so the differential excludes them --
+    the same exclusion the CI smoke comparison uses.
+    """
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".tsv") or name.startswith("_platform."):
+            continue
+        with open(os.path.join(directory, name), encoding="utf-8") as fh:
+            out[name] = [line for line in fh
+                         if not line.startswith("#stats")]
+    return out
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_sharded_replay_matches_single_process(seed, tmp_path):
+    """simulate | replay == simulate | replay --shards 2 --transport
+    binary --telemetry: same filenames, same rows, for five random
+    workloads, through the real CLI."""
+    from repro.cli import main as cli_main
+
+    stream = tmp_path / "stream.txt"
+    assert cli_main(["simulate", "--preset", "tiny", "--seed", str(seed),
+                     "--duration", "90", "--qps", "15",
+                     "-o", str(stream)]) == 0
+    single = tmp_path / "single"
+    sharded = tmp_path / "sharded"
+    assert cli_main(["replay", str(stream), str(single)]) == 0
+    assert cli_main(["replay", str(stream), str(sharded),
+                     "--shards", "2", "--transport", "binary",
+                     "--telemetry"]) == 0
+    ours, theirs = _tsv_tree(str(single)), _tsv_tree(str(sharded))
+    assert sorted(ours) == sorted(theirs)
+    for name in ours:
+        assert ours[name] == theirs[name], "row mismatch in %s" % name
+    # the sharded run's telemetry really was on
+    assert any(name.startswith("_platform.")
+               for name in os.listdir(str(sharded)))
+
+
+@pytest.fixture(scope="module")
+def differential_tree(tmp_path_factory):
+    """One replayed TSV tree shared by the store-vs-raw differentials."""
+    directory = tmp_path_factory.mktemp("difftree")
+    obs = Observatory(datasets=[("qname", 256), ("srvip", 64)],
+                      output_dir=str(directory), use_bloom_gate=False,
+                      skip_recent_inserts=False)
+    for i in range(900):
+        obs.ingest(make_txn(ts=i * 0.4,
+                            qname="host%02d.example.com" % (i % 40),
+                            server_ip="192.0.2.%d" % (1 + i % 7)))
+    obs.finish()
+    return str(directory)
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_store_answers_match_raw_read_series(differential_tree, seed):
+    """The bisected, manifest-indexed, LRU-cached store answers every
+    randomized range query exactly like a raw directory scan."""
+    rng = random.Random(seed)
+    store = SeriesStore(differential_tree)
+
+    def snapshot(series):
+        return [(d.start_ts, d.rows, d.stats) for d in series]
+
+    for _ in range(12):
+        dataset = rng.choice(["qname", "srvip"])
+        lo = rng.choice([None, rng.uniform(-120, 420)])
+        hi = rng.choice([None, rng.uniform(-60, 480)])
+        if lo is not None and hi is not None and hi <= lo:
+            lo, hi = hi, lo
+        raw = read_series(differential_tree, dataset, "minutely", lo, hi)
+        assert snapshot(store.read(dataset, "minutely", lo, hi)) == \
+            snapshot(raw)
+        # the streaming iterator walks the same windows in the same
+        # order as the materializing read
+        streamed = store.iter_range(dataset, "minutely", lo, hi)
+        assert snapshot(streamed) == snapshot(raw)
+
+
+# -- TSV fuzzing: hostile keys + write atomicity ------------------------
+
+#: characters a qname dataset can legally smuggle into the key column:
+#: the escaped delimiters, the escape character itself, non-ASCII,
+#: controls, and enough plain text to form empty/blank-adjacent fields
+_HOSTILE_ALPHABET = list("ab\\\t\n\r# .") + ["é", "☃", "名", "\x1f"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet=st.sampled_from(_HOSTILE_ALPHABET), max_size=20))
+def test_key_escaping_roundtrips_and_stays_single_line(key):
+    escaped = escape_key(key)
+    assert unescape_key(escaped) == key
+    # the whole point: no raw delimiter survives into the file
+    assert "\t" not in escaped
+    assert "\n" not in escaped
+    assert "\r" not in escaped
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(
+    st.text(alphabet=st.sampled_from(_HOSTILE_ALPHABET), max_size=12),
+    st.integers(0, 10**9),
+), min_size=0, max_size=12),
+    st.integers(0, 10**6))
+def test_tsv_hostile_key_roundtrip(rows, start):
+    """Tabs, newlines, backslashes, non-ASCII and empty keys all
+    survive write_tsv -> read_tsv (``#stats`` is the format's one
+    reserved key -- the stats trailer -- so it is excluded)."""
+    import tempfile
+
+    assume(all(key != "#stats" for key, _ in rows))
+    data = TimeSeriesData("fuzz", "minutely", start, columns=["hits"],
+                          rows=[(k, {"hits": v}) for k, v in rows],
+                          stats={"seen": len(rows), "kept": len(rows)})
+    with tempfile.TemporaryDirectory() as d:
+        back = read_tsv(write_tsv(d, data))
+    assert back.start_ts == start
+    assert back.rows == [(k, {"hits": v}) for k, v in rows]
+    assert back.stats == {"seen": len(rows), "kept": len(rows)}
+
+
+def test_concurrent_reader_never_sees_a_torn_window(tmp_path):
+    """write_tsv's replace-onto-final-name contract, observed from the
+    outside: a reader hammering the canonical path while a writer loop
+    rewrites it sees either no file or one complete, internally
+    consistent version -- never a header from one write and rows from
+    another, and never a ``.tmp`` sibling via list_series."""
+    directory = str(tmp_path)
+    path = os.path.join(directory, filename_for("race", "minutely", 0))
+    done = threading.Event()
+
+    def writer():
+        try:
+            for version in range(150):
+                write_tsv(directory, TimeSeriesData(
+                    "race", "minutely", 0, columns=["hits"],
+                    rows=[("k%02d" % i, {"hits": version})
+                          for i in range(80)],
+                    stats={"seen": version, "kept": version}))
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    observed = set()
+    try:
+        while not done.is_set() or not observed:
+            listed = list_series(directory, "race")
+            assert len(listed) <= 1  # .tmp siblings are invisible
+            try:
+                data = read_tsv(path)
+            except FileNotFoundError:
+                continue
+            versions = {row["hits"] for _, row in data.rows}
+            versions.add(data.stats["seen"])
+            assert len(versions) == 1, "torn window: %s" % versions
+            assert len(data.rows) == 80
+            observed.add(versions.pop())
+    finally:
+        thread.join()
+    assert observed  # the reader really saw completed writes
+    assert [n for n in os.listdir(directory) if n.endswith(".tsv")] == \
+        [os.path.basename(path)]

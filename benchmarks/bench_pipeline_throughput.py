@@ -11,7 +11,11 @@ import os
 
 import pytest
 
-from benchmarks.conftest import base_scenario, save_result
+from benchmarks.conftest import (
+    base_scenario,
+    measure_sharded_run,
+    save_result,
+)
 from repro.observatory.pipeline import Observatory
 from repro.observatory.sharded import ShardedObservatory
 from repro.simulation.sie import SieChannel
@@ -57,18 +61,21 @@ def test_throughput_all_datasets(benchmark, transaction_batch):
     assert rate > 1000
 
 
-@pytest.mark.parametrize("transport", ["pickle", "binary"])
+@pytest.mark.parametrize("transport", ["pickle", "binary", "ring"])
 @pytest.mark.parametrize("shards", [2, 4])
 def test_throughput_sharded(benchmark, transaction_batch, shards,
                             transport):
-    """All-datasets ingest through N worker processes, for both shard
-    transports (default pickle vs the binary line-block/out-of-band
-    codec).
+    """All-datasets ingest through N worker processes, for every shard
+    transport (default pickle, the binary line-block/out-of-band
+    codec, and the shared-memory ring).
 
-    The >= 2x-over-single-process criterion only makes sense with
-    real parallelism; on a single-core container the workers time-
-    share one CPU and the bench records the (honest) overhead instead,
-    so the speedup assertion is gated on the available core count.
+    Instead of asserting a hoped-for speedup behind a core-count
+    guess, this records what actually happened: the measured speedup
+    over single-process ingest and the per-worker CPU utilization
+    (``RUSAGE_CHILDREN`` deltas over shards x wall time).  The speedup
+    gate only applies where real parallelism exists (>= 2 cores); a
+    single-core container time-shares everything and the honest report
+    is the deliverable.
     """
     def ingest():
         obs = ShardedObservatory(shards=shards, datasets=ALL_DATASETS,
@@ -81,17 +88,32 @@ def test_throughput_sharded(benchmark, transaction_batch, shards,
     obs = benchmark.pedantic(ingest, rounds=2, iterations=1)
     assert obs.total_seen == len(transaction_batch)
     rate = len(transaction_batch) / benchmark.stats["mean"]
+    measured = measure_sharded_run(
+        transaction_batch, shards, transport, ALL_DATASETS,
+        use_bloom_gate=False)
+    single_rate = _single_process_rate(transaction_batch)
+    speedup = measured["txn_per_s"] / single_rate
     name = ("throughput_sharded_%d" % shards if transport == "pickle"
             else "throughput_sharded_%d_%s" % (shards, transport))
     save_result(
         name,
         "sharded pipeline (%d workers, %s transport, %d cpu cores): "
-        "%d txn/s (%d transactions)" % (shards, transport, CORES, rate,
-                                        len(transaction_batch)))
-    if CORES >= 2 * shards:
-        single_rate = _single_process_rate(transaction_batch)
-        assert rate >= 2 * single_rate, \
-            "expected >=2x single-process throughput on %d cores" % CORES
+        "%d txn/s (%d transactions)\n"
+        "  single-process baseline %d txn/s -> measured speedup %.2fx\n"
+        "  per-worker utilization %.0f%% (%.1fs worker CPU over %.1fs "
+        "wall)" % (
+            shards, transport, CORES, rate, len(transaction_batch),
+            single_rate, speedup,
+            100 * measured["worker_utilization"],
+            measured["worker_cpu_s"], measured["wall_s"]))
+    if CORES >= 2:
+        # With real parallelism available, sharding must pay for its
+        # transport overhead; the full 2x bar needs a core per worker
+        # plus headroom for the coordinator.
+        floor = 2.0 if CORES >= 2 * shards else 1.1
+        assert speedup >= floor, \
+            "expected >=%.1fx single-process throughput on %d cores, " \
+            "measured %.2fx" % (floor, CORES, speedup)
 
 
 def _single_process_rate(transaction_batch):

@@ -76,6 +76,9 @@ def cmd_replay(args):
     datasets = [(name, args.k) for name in args.datasets]
     if args.shards > 1:
         from repro.observatory.sharded import ShardedObservatory
+        extra = {}
+        if getattr(args, "ring_bytes", None):
+            extra["ring_bytes"] = args.ring_bytes
         obs = ShardedObservatory(
             shards=args.shards,
             datasets=datasets,
@@ -83,6 +86,7 @@ def cmd_replay(args):
             window_seconds=args.window,
             transport=args.transport,
             telemetry=args.telemetry,
+            **extra,
         )
     else:
         obs = Observatory(
@@ -252,11 +256,18 @@ def build_parser():
     p.add_argument("--shards", type=int, default=1, metavar="N",
                    help="ingest with N sharded worker processes "
                         "(1 = single-process)")
-    p.add_argument("--transport", choices=["pickle", "binary"],
+    p.add_argument("--transport", choices=["pickle", "binary", "ring"],
                    default="pickle",
                    help="shard transport codec (with --shards > 1): "
-                        "default-pickle object graphs, or line-block "
-                        "batches + protocol-5 out-of-band sketch buffers")
+                        "default-pickle object graphs, 'binary' "
+                        "line-block batches + protocol-5 out-of-band "
+                        "sketch buffers, or 'ring' carrying the binary "
+                        "line blocks over one shared-memory SPSC ring "
+                        "per shard (no upstream pickling or queue "
+                        "feeder threads)")
+    p.add_argument("--ring-bytes", type=int, default=None, metavar="BYTES",
+                   help="per-shard ring capacity for --transport ring "
+                        "(default 1 MiB)")
     p.add_argument("--telemetry", action="store_true",
                    help="emit platform self-telemetry: one _platform "
                         "TSV row per component per window (sketch "

@@ -184,6 +184,10 @@ class Message:
 
         if len(wire) < _HEADER.size:
             raise ValueError("truncated DNS header")
+        # decode through a view: name labels and rdata fields slice the
+        # packet buffer without copying; only the final strings and the
+        # stored rdata payloads materialize
+        wire = memoryview(wire)
         try:
             msg_id, flags, qd, an, ns, ar = _HEADER.unpack_from(wire, 0)
             msg = cls(msg_id=msg_id, flags=flags)

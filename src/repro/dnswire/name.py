@@ -119,6 +119,10 @@ def decode_name(wire, offset):
     Returns ``(canonical_name, next_offset)`` where *next_offset* is
     the position just after the name in the original (uncompressed)
     byte stream.  Follows compression pointers with loop protection.
+
+    *wire* may be ``bytes`` or a ``memoryview``; the message decoder
+    passes a view so each label decodes straight out of the packet
+    buffer (``str(view-slice)``) with no intermediate bytes copy.
     """
     labels = []
     jumps = 0
@@ -148,7 +152,9 @@ def decode_name(wire, offset):
             break
         if pos + length > len(wire):
             raise NameError_("truncated label")
-        labels.append(wire[pos:pos + length].decode("ascii", "replace").lower())
+        # str() decodes from any buffer: a memoryview slice is a view,
+        # so the only copy is the label string itself
+        labels.append(str(wire[pos:pos + length], "ascii", "replace").lower())
         pos += length
     if end is None:
         end = pos

@@ -55,7 +55,8 @@ class A(Rdata):
     def from_wire(cls, wire, offset, rdlength):
         if rdlength != 4:
             raise ValueError("A rdata must be 4 bytes")
-        return cls(ipaddress.IPv4Address(wire[offset:offset + 4]))
+        # ipaddress only accepts real bytes as packed form, not views
+        return cls(ipaddress.IPv4Address(bytes(wire[offset:offset + 4])))
 
 
 class AAAA(Rdata):
@@ -73,7 +74,7 @@ class AAAA(Rdata):
     def from_wire(cls, wire, offset, rdlength):
         if rdlength != 16:
             raise ValueError("AAAA rdata must be 16 bytes")
-        return cls(ipaddress.IPv6Address(wire[offset:offset + 16]))
+        return cls(ipaddress.IPv6Address(bytes(wire[offset:offset + 16])))
 
 
 class _SingleName(Rdata):

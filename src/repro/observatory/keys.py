@@ -23,8 +23,13 @@ Paper-scale k values (100K/10K/...) are scaled down by default; every
 spec's ``k`` can be overridden when instantiating the Observatory.
 """
 
+import sys
+
 from repro.dnswire.constants import RCODE
 from repro.dnswire.psl import default_psl
+
+#: memo-miss sentinel (None is a valid memoized result: "filtered out")
+_MISSING = object()
 
 
 class DatasetSpec:
@@ -86,6 +91,7 @@ class DatasetSpec:
         if self.cache_key_attr is not None and filter_fn is None:
             attr = self.cache_key_attr
             cache = {}
+            intern = sys.intern
 
             def extract(txn):
                 value = getattr(txn, attr)
@@ -96,6 +102,11 @@ class DatasetSpec:
                 if len(cache) >= cache_limit:
                     cache.clear()
                 key = key_fn(txn)
+                if key is not None:
+                    # memoized keys are served many times over; intern
+                    # so every cache hit returns the singleton and the
+                    # Space-Saving dict compares by pointer first
+                    key = intern(key)
                 cache[value] = key
                 return key
 
@@ -108,6 +119,57 @@ class DatasetSpec:
 
             return extract
         return key_fn
+
+    def make_batch_extractor(self, psl=None, cache_limit=100_000):
+        """Build a batch extractor: ``txns -> [key-or-None, ...]``.
+
+        The batch form of :meth:`make_extractor`: one call per batch
+        instead of one per transaction.  For memoizable datasets
+        (``cache_key_attr`` set, no pre-filter) the loop runs against
+        a local binding of the shared memo with interned keys, so the
+        steady-state per-transaction cost is one attribute read and
+        one dict hit -- no Python-level function call at all.
+        """
+        if self.key_factory is not None:
+            key_fn = self.key_factory(
+                psl if psl is not None else default_psl())
+        else:
+            key_fn = self.key_fn
+        filter_fn = self.filter_fn
+        if self.cache_key_attr is not None and filter_fn is None:
+            attr = self.cache_key_attr
+            cache = {}
+            intern = sys.intern
+
+            def extract_batch(txns):
+                cache_get = cache.get
+                keys = []
+                append = keys.append
+                for txn in txns:
+                    value = getattr(txn, attr)
+                    key = cache_get(value, _MISSING)
+                    if key is _MISSING:
+                        if len(cache) >= cache_limit:
+                            cache.clear()
+                        key = key_fn(txn)
+                        if key is not None:
+                            key = intern(key)
+                        cache[value] = key
+                    append(key)
+                return keys
+
+            return extract_batch
+        if filter_fn is not None:
+            def extract_batch(txns):
+                return [key_fn(txn) if filter_fn(txn) else None
+                        for txn in txns]
+
+            return extract_batch
+
+        def extract_batch(txns):
+            return [key_fn(txn) for txn in txns]
+
+        return extract_batch
 
     def __repr__(self):
         return "DatasetSpec(%r, k=%d)" % (self.name, self.k)

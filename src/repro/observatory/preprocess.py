@@ -24,6 +24,28 @@ class PreprocessError(ValueError):
     """Raised when a raw transaction cannot be summarized."""
 
 
+def summarize_batch(records, source="src0", on_error=None):
+    """Summarize raw transaction *records* in bulk (the feeder path).
+
+    Each record is a ``(query_packet, response_packet, query_ts[,
+    response_ts])`` tuple, as taken by :func:`summarize_transaction`.
+    Malformed records are skipped (the platform drops what it cannot
+    parse rather than stalling the stream); pass *on_error* --
+    ``on_error(record, exc)`` -- to count or log them.  Returns the
+    list of parsed :class:`~repro.observatory.transaction.Transaction`
+    summaries, in input order.
+    """
+    out = []
+    append = out.append
+    for record in records:
+        try:
+            append(summarize_transaction(*record, source=source))
+        except PreprocessError as exc:
+            if on_error is not None:
+                on_error(record, exc)
+    return out
+
+
 def summarize_transaction(query_packet, response_packet, query_ts,
                           response_ts=None, source="src0"):
     """Parse raw packets into a :class:`Transaction`.

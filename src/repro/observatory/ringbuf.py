@@ -1,0 +1,465 @@
+"""Shared-memory SPSC ring: the zero-pickle shard ingest transport.
+
+The sharded engine's upstream direction (coordinator -> worker) is a
+classic single-producer/single-consumer stream: one feeder routes
+batches to one worker, strictly in order.  The multiprocessing
+``Queue`` that carried it pays, per message, a pickle of the payload,
+a copy into the queue's internal buffer, a feeder-thread handoff and a
+pipe write -- and the same again in reverse on the worker side.  For
+pre-serialized line blocks (the binary codec already produces one flat
+``bytes`` per batch) all of that is pure overhead.
+
+This module replaces the queue with a byte ring over one
+``multiprocessing.shared_memory`` segment per shard:
+
+* the producer copies each frame **once**, straight into the shared
+  segment (`memoryview` slice assignment -- no pickling, no feeder
+  thread, no pipe);
+* the consumer copies it once out of the segment and hands it to the
+  batch decoder;
+* head/tail are free-running 64-bit byte counters on their own cache
+  lines, so the two sides never write the same line (no false
+  sharing), and each side only ever *writes* its own counter.
+
+Segment layout (all offsets fixed, see :data:`_HEADER_SIZE`)::
+
+    offset   0  head  (u64 LE)   consumer cursor, bytes consumed
+    offset  64  tail  (u64 LE)   producer cursor, bytes produced
+    offset 128  flags (u8)       bit 0: producer closed (clean EOF)
+    offset 192  data[capacity]   length-prefixed frames, byte-wrapped
+
+    frame := length (u32 LE) | payload bytes
+    occupancy := tail - head         (monotonic counters, never wrap)
+    free      := capacity - occupancy
+
+Frames wrap byte-wise: a frame whose end passes the segment boundary
+is simply split across it (both the length prefix and the payload may
+straddle), which keeps the arithmetic branch-free and means capacity
+is usable to the last byte.
+
+**Watermark blocking.**  A producer with ``free < frame size`` and a
+consumer with ``occupancy == 0`` wait by spinning a few times and then
+sleeping in sub-millisecond steps, re-checking three exits every
+iteration: progress (the peer moved its counter), a deadline
+(*timeout* -> :class:`RingTimeout`), and peer death (the *peer_alive*
+callback -> :class:`RingPeerDead`).  A SIGKILLed peer therefore
+surfaces as a named ``RuntimeError`` within one poll interval -- the
+same fault contract the queue transport's reply timeout provides,
+never a hang.
+
+CPython's GIL orders each side's own operations; cross-process
+visibility relies on the platform's store ordering (x86-TSO: the
+payload store precedes the counter store in program order and is
+observed in that order).  The consumer only reads bytes below ``tail``
+and the producer only overwrites bytes below ``head``, so each cell
+has exactly one writer at any time.
+"""
+
+import struct
+import time
+from multiprocessing import resource_tracker, shared_memory
+
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+#: fixed header offsets -- one cache line per counter
+_HEAD_OFF = 0
+_TAIL_OFF = 64
+_FLAGS_OFF = 128
+_HEADER_SIZE = 192
+
+_CLOSED_BIT = 0x01
+
+#: blocking-wait tuning: spin a little, then sleep with gentle
+#: exponential backoff.  The backoff matters most on core-starved
+#: hosts: a consumer polling an empty ring at a fixed fine interval
+#: steals timeslices from the very producer it is waiting on, while
+#: capping the backoff keeps the worst-case wakeup latency bounded.
+_SPIN_ROUNDS = 64
+_SLEEP_S = 0.0002
+_SLEEP_MAX_S = 0.002
+_SLEEP_GROWTH = 1.5
+#: peer liveness is polled at most this often while blocked (seconds)
+_PEER_CHECK_S = 0.01
+
+
+class RingError(RuntimeError):
+    """Base class for ring transport failures."""
+
+
+class RingTimeout(RingError):
+    """A blocking ring operation exceeded its timeout."""
+
+
+class RingPeerDead(RingError):
+    """The process on the other side of the ring died mid-stream."""
+
+
+class RingHandle:
+    """Picklable descriptor a worker uses to attach to an existing ring."""
+
+    __slots__ = ("name", "capacity")
+
+    def __init__(self, name, capacity):
+        self.name = name
+        self.capacity = capacity
+
+    def __repr__(self):
+        return "RingHandle(%r, capacity=%d)" % (self.name, self.capacity)
+
+
+class SpscRing:
+    """Single-producer/single-consumer byte ring over shared memory.
+
+    Create with :meth:`create` on the producing side, attach with
+    :meth:`attach` (via the :attr:`handle`) on the consuming side.
+    Either side may call :meth:`close`; only the creator should
+    :meth:`unlink` (idempotent, and implied by the creator's
+    ``close``).
+    """
+
+    def __init__(self, shm, capacity, owner):
+        self._shm = shm
+        self.capacity = capacity
+        self._owner = owner
+        self._buf = shm.buf
+        self._data = shm.buf[_HEADER_SIZE:_HEADER_SIZE + capacity]
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(cls, capacity):
+        """Allocate a fresh ring of *capacity* data bytes."""
+        capacity = int(capacity)
+        if capacity < 8:
+            raise ValueError("ring capacity must be >= 8 bytes")
+        shm = shared_memory.SharedMemory(
+            create=True, size=_HEADER_SIZE + capacity)
+        shm.buf[:_HEADER_SIZE] = bytes(_HEADER_SIZE)
+        return cls(shm, capacity, owner=True)
+
+    @classmethod
+    def attach(cls, handle):
+        """Attach to the ring described by *handle* (consumer side).
+
+        Registration with the resource tracker is suppressed for the
+        attaching process: the creator owns cleanup, and a tracker
+        that believes it owns an attached segment would unlink it
+        early or log spurious leak warnings when this process exits
+        (``SharedMemory(name=...)`` registers unconditionally before
+        Python 3.13's ``track=False``).
+        """
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=handle.name)
+        finally:
+            resource_tracker.register = original_register
+        return cls(shm, handle.capacity, owner=False)
+
+    @property
+    def handle(self):
+        return RingHandle(self._shm.name, self.capacity)
+
+    def close(self):
+        """Release this side's mapping; the creator also unlinks."""
+        if self._closed:
+            return
+        self._closed = True
+        # memoryview slices keep the mmap alive; drop them first
+        self._data.release()
+        self._buf = None
+        self._data = None
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # -- counters ------------------------------------------------------
+
+    def _head(self):
+        return _U64.unpack_from(self._buf, _HEAD_OFF)[0]
+
+    def _tail(self):
+        return _U64.unpack_from(self._buf, _TAIL_OFF)[0]
+
+    def occupancy(self):
+        """Bytes currently buffered (frames + their length prefixes)."""
+        return self._tail() - self._head()
+
+    def fill(self):
+        """Occupancy as a fraction of capacity, for telemetry gauges."""
+        return self.occupancy() / self.capacity
+
+    def close_write(self):
+        """Producer-side clean EOF: consumers drain, then read None."""
+        self._buf[_FLAGS_OFF] |= _CLOSED_BIT
+
+    @property
+    def write_closed(self):
+        return bool(self._buf[_FLAGS_OFF] & _CLOSED_BIT)
+
+    # -- producer side -------------------------------------------------
+
+    def max_payload(self):
+        """Largest payload a single frame can carry."""
+        return self.capacity - _U32.size
+
+    def try_write(self, payload):
+        """Write one frame if space permits; False when it would block."""
+        return self.try_write_parts((payload,))
+
+    def try_write_parts(self, parts):
+        """Write one frame whose payload is the concatenation of
+        *parts* (each bytes-like), copied straight into the segment --
+        the caller never has to join them first."""
+        total = 0
+        for part in parts:
+            total += len(part)
+        need = _U32.size + total
+        if need > self.capacity:
+            raise ValueError(
+                "payload of %d bytes exceeds ring capacity %d "
+                "(raise ring_bytes)" % (total, self.capacity))
+        head = self._head()
+        tail = self._tail()
+        if self.capacity - (tail - head) < need:
+            return False
+        self._put_bytes(tail, _U32.pack(total))
+        position = tail + _U32.size
+        for part in parts:
+            self._put_bytes(position, part)
+            position += len(part)
+        _U64.pack_into(self._buf, _TAIL_OFF, tail + need)
+        return True
+
+    def write(self, payload, timeout=None, peer_alive=None):
+        """Write one frame, blocking while the ring is too full.
+
+        Raises :class:`RingTimeout` after *timeout* seconds without
+        enough free space, or :class:`RingPeerDead` as soon as
+        *peer_alive()* (checked while blocked) returns falsy.
+        """
+        self.write_parts((payload,), timeout, peer_alive)
+
+    def write_parts(self, parts, timeout=None, peer_alive=None):
+        """Blocking multi-part variant of :meth:`write`."""
+        if self.try_write_parts(parts):
+            return
+        self._block(lambda: self.try_write_parts(parts), timeout,
+                    peer_alive, "write (ring full)")
+
+    def _put_bytes(self, position, data):
+        """Copy *data* into the data region at free-running *position*,
+        wrapping byte-wise at the segment boundary."""
+        start = position % self.capacity
+        end = start + len(data)
+        if end <= self.capacity:
+            self._data[start:end] = data
+        else:
+            cut = self.capacity - start
+            self._data[start:] = data[:cut]
+            self._data[:end - self.capacity] = data[cut:]
+
+    # -- consumer side -------------------------------------------------
+
+    def try_read(self):
+        """Read one frame if available.
+
+        Returns the payload ``bytes``, ``None`` when the ring is empty
+        and the producer closed it, or ``False`` when empty but still
+        open (would block).
+        """
+        head = self._head()
+        tail = self._tail()
+        if tail == head:
+            return None if self.write_closed else False
+        length = _U32.unpack(self._get_bytes(head, _U32.size))[0]
+        payload = self._get_bytes(head + _U32.size, length)
+        _U64.pack_into(self._buf, _HEAD_OFF, head + _U32.size + length)
+        return payload
+
+    def read(self, timeout=None, peer_alive=None):
+        """Read one frame, blocking while the ring is empty.
+
+        Returns the payload, or ``None`` on clean producer EOF.
+        Raises :class:`RingTimeout` / :class:`RingPeerDead` like
+        :meth:`write`.
+        """
+        result = self.try_read()
+        if result is not False:
+            return result
+        out = []
+
+        def ready():
+            got = self.try_read()
+            if got is False:
+                return False
+            out.append(got)
+            return True
+
+        self._block(ready, timeout, peer_alive, "read (ring empty)")
+        return out[0]
+
+    def _get_bytes(self, position, length):
+        start = position % self.capacity
+        end = start + length
+        if end <= self.capacity:
+            return bytes(self._data[start:end])
+        cut = self.capacity - start
+        return bytes(self._data[start:]) + \
+            bytes(self._data[:end - self.capacity])
+
+    # -- blocking core -------------------------------------------------
+
+    def _block(self, attempt, timeout, peer_alive, what):
+        """Spin-then-sleep until *attempt()* succeeds, with deadline
+        and peer-death exits.  The watermark protocol in one place."""
+        for _ in range(_SPIN_ROUNDS):
+            if attempt():
+                return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        next_peer_check = 0.0
+        sleep_s = _SLEEP_S
+        while True:
+            if attempt():
+                return
+            now = time.monotonic()
+            if peer_alive is not None and now >= next_peer_check:
+                if not peer_alive():
+                    raise RingPeerDead(
+                        "ring peer died during %s" % what)
+                next_peer_check = now + _PEER_CHECK_S
+            if deadline is not None and now >= deadline:
+                raise RingTimeout(
+                    "ring %s timed out after %ss" % (what, timeout))
+            time.sleep(sleep_s)
+            if sleep_s < _SLEEP_MAX_S:
+                sleep_s = min(sleep_s * _SLEEP_GROWTH, _SLEEP_MAX_S)
+
+
+# -- shard-protocol endpoints ------------------------------------------
+#
+# The coordinator/worker protocol of repro.observatory.sharded speaks
+# tagged tuples: ("batch", payload), ("cut", ts), ("finish",).  These
+# two wrappers frame that protocol over a ring while keeping the
+# queue-shaped .put()/.get() surface, so the coordinator's dispatch
+# loop and the worker's receive loop are transport-agnostic.
+
+_TAG_BATCH = 0x01
+_TAG_CUT = 0x02
+_TAG_FINISH = 0x03
+
+_CUT_TS = struct.Struct("<d")
+
+
+class RingSender:
+    """Producer endpoint with the upstream queue's ``put`` surface.
+
+    Counts frames, bytes and watermark stalls for the ``_platform``
+    telemetry (ring occupancy and stall time are the ingest-backpressure
+    signal the queue transport could only expose as ``qsize``).
+    """
+
+    def __init__(self, ring, name="ring", timeout=None, peer_alive=None):
+        self.ring = ring
+        self.name = name
+        self.timeout = timeout
+        self.peer_alive = peer_alive
+        #: telemetry counters (cumulative; snapshot as deltas)
+        self.frames = 0
+        self.bytes_written = 0
+        self.stalls = 0
+        self.stall_seconds = 0.0
+
+    def put(self, message):
+        tag = message[0]
+        if tag == "batch":
+            # the tag byte and the (reusable) encode buffer go down as
+            # separate parts: the payload is copied exactly once, from
+            # the encoder's buffer straight into the shared segment
+            parts = (b"\x01", message[1])
+        elif tag == "cut":
+            parts = (bytes((_TAG_CUT,)) + _CUT_TS.pack(message[1]),)
+        elif tag == "finish":
+            parts = (bytes((_TAG_FINISH,)),)
+        else:
+            raise ValueError("unknown ring message tag %r" % (tag,))
+        ring = self.ring
+        if not ring.try_write_parts(parts):
+            started = time.monotonic()
+            self.stalls += 1
+            try:
+                ring.write_parts(parts, timeout=self.timeout,
+                                 peer_alive=self.peer_alive)
+            except RingError as exc:
+                raise RingError("%s: %s" % (self.name, exc)) from None
+            finally:
+                self.stall_seconds += time.monotonic() - started
+        self.frames += 1
+        for part in parts:
+            self.bytes_written += len(part)
+
+    def telemetry_row(self):
+        """Cumulative link sample; the registry differences the
+        counter columns per window (``deltas=RING_LINK_DELTAS``)."""
+        return {
+            "ring_fill": round(self.ring.fill(), 4),
+            "frames": self.frames,
+            "bytes": self.bytes_written,
+            "stalls": self.stalls,
+            "stall_ms": round(self.stall_seconds * 1000.0, 3),
+        }
+
+    # queue-surface compatibility: the coordinator tears every
+    # upstream channel down the same way
+    def cancel_join_thread(self):
+        pass
+
+    def close(self):
+        self.ring.close()
+
+
+#: cumulative columns in RingSender.telemetry_row, differenced per window
+RING_LINK_DELTAS = ("frames", "bytes", "stalls", "stall_ms")
+
+
+class RingReceiver:
+    """Consumer endpoint with the worker queue's ``get`` surface."""
+
+    def __init__(self, ring, peer_alive=None):
+        self.ring = ring
+        self.peer_alive = peer_alive
+
+    @classmethod
+    def attach(cls, handle, peer_alive=None):
+        return cls(SpscRing.attach(handle), peer_alive=peer_alive)
+
+    def get(self):
+        frame = self.ring.read(peer_alive=self.peer_alive)
+        if frame is None:
+            # clean producer EOF without a protocol finish -- surface
+            # as end-of-stream so the worker flushes and exits
+            return ("finish",)
+        tag = frame[0]
+        if tag == _TAG_BATCH:
+            return ("batch", frame[1:])
+        if tag == _TAG_CUT:
+            return ("cut", _as_window_ts(_CUT_TS.unpack_from(frame, 1)[0]))
+        if tag == _TAG_FINISH:
+            return ("finish",)
+        raise ValueError("unknown ring frame tag 0x%02x" % tag)
+
+    def close(self):
+        self.ring.close()
+
+
+def _as_window_ts(value):
+    """Window timestamps travel as doubles; integral ones come back as
+    ints so worker-side window starts stay on the exact integer grid
+    the queue transports preserve."""
+    i = int(value)
+    return i if i == value else value

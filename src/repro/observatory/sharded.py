@@ -70,11 +70,20 @@ What *can* differ from the single-process path:
 
 import logging
 import multiprocessing
+import os
 import time
 import zlib
 from queue import Empty
 
 from repro.observatory.pipeline import Observatory
+from repro.observatory.ringbuf import (
+    RING_LINK_DELTAS,
+    RingError,
+    RingHandle,
+    RingReceiver,
+    RingSender,
+    SpscRing,
+)
 from repro.observatory.telemetry import (
     PLATFORM_DATASET,
     resolve_telemetry,
@@ -88,6 +97,12 @@ logger = logging.getLogger(__name__)
 
 #: transactions per queue message; amortizes pickling + queue overhead
 DEFAULT_BATCH_SIZE = 512
+
+#: default shared-memory ring capacity per shard (--transport ring)
+DEFAULT_RING_BYTES = 1 << 20
+
+#: bound on the feeder's partition-key -> shard memo (cleared when full)
+_SHARD_MEMO_LIMIT = 200_000
 
 
 def partition_srcsrv(txn):
@@ -134,8 +149,22 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
     * ``("finish",)`` -- flush the partial tail window, ship the
       remaining states plus final per-dataset statistics and telemetry
       rows, and exit.
+
+    Under ``--transport ring`` *in_q* is a
+    :class:`~repro.observatory.ringbuf.RingHandle` instead of a queue:
+    the worker attaches to the coordinator's shared-memory ring and
+    reads the same tagged messages as length-prefixed frames.  Replies
+    always travel on *out_q* (per-window volume, not per-transaction).
     """
+    receiver = None
     try:
+        if isinstance(in_q, RingHandle):
+            parent = os.getppid()
+            receiver = RingReceiver.attach(
+                in_q, peer_alive=lambda: os.getppid() == parent)
+            get_message = receiver.get
+        else:
+            get_message = in_q.get
         codec = get_transport(transport)
         unpack_batch = codec.unpack_batch
         pack_states = codec.pack_states
@@ -146,7 +175,7 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
         consume_batch = obs.windows.consume_batch
         telemetry = obs.telemetry
         while True:
-            message = in_q.get()
+            message = get_message()
             tag = message[0]
             if tag == "batch":
                 consume_batch(unpack_batch(message[1]))
@@ -181,6 +210,9 @@ def _shard_worker(shard_id, in_q, out_q, specs, window_seconds, obs_kw,
     except Exception:  # pragma: no cover - exercised via parent raise
         import traceback
         out_q.put(("error", shard_id, traceback.format_exc()))
+    finally:
+        if receiver is not None:
+            receiver.close()
 
 
 class ShardedObservatory:
@@ -207,9 +239,15 @@ class ShardedObservatory:
         ``txn -> str``.
     transport:
         Shard transport codec: ``"pickle"`` (default; queues pickle
-        live object graphs) or ``"binary"`` (pre-serialized line
+        live object graphs), ``"binary"`` (pre-serialized line
         blocks upstream, protocol-5 out-of-band sketch buffers
-        downstream -- see :mod:`repro.observatory.transport`).
+        downstream -- see :mod:`repro.observatory.transport`), or
+        ``"ring"`` (the binary codec's line blocks carried over one
+        shared-memory SPSC ring per shard -- no upstream pickling or
+        queue feeder threads at all, see
+        :mod:`repro.observatory.ringbuf`).
+    ring_bytes:
+        Per-shard ring capacity in bytes (``--transport ring`` only).
     mp_context:
         ``multiprocessing`` context or start-method name; defaults to
         ``fork`` where available (cheap worker startup).
@@ -228,7 +266,8 @@ class ShardedObservatory:
                  output_dir=None, keep_dumps=True, sink=None, tau=300.0,
                  use_bloom_gate=True, hll_precision=8,
                  skip_recent_inserts=True, batch_size=DEFAULT_BATCH_SIZE,
-                 partition="srcsrv", transport="pickle", mp_context=None,
+                 partition="srcsrv", transport="pickle",
+                 ring_bytes=DEFAULT_RING_BYTES, mp_context=None,
                  timeout=300.0, telemetry=False):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -247,6 +286,8 @@ class ShardedObservatory:
         else:
             self._partition = PARTITIONS[partition]
         self._transport = get_transport(transport)
+        self.ring_bytes = int(ring_bytes)
+        self._shard_memo = {}
         self._specs = [Observatory._resolve(item) for item in datasets]
         names = [spec.name for spec in self._specs]
         if len(set(names)) != len(names):
@@ -274,20 +315,31 @@ class ShardedObservatory:
                       skip_recent_inserts=skip_recent_inserts,
                       telemetry=self.telemetry.enabled)
         context = self._resolve_context(mp_context)
+        use_ring = self._transport.is_ring
         self._out_q = context.Queue()
         self._in_qs = []
         self._workers = []
         try:
             for shard_id in range(self.shards):
-                in_q = context.Queue()
+                if use_ring:
+                    ring = SpscRing.create(self.ring_bytes)
+                    in_q = RingSender(ring, name="shard %d ring" % shard_id,
+                                      timeout=self.timeout)
+                    worker_arg = ring.handle
+                else:
+                    in_q = context.Queue()
+                    worker_arg = in_q
                 worker = context.Process(
                     target=_shard_worker,
-                    args=(shard_id, in_q, self._out_q, self._specs,
+                    args=(shard_id, worker_arg, self._out_q, self._specs,
                           self.window_seconds, obs_kw, self._transport),
                     daemon=True,
                     name="observatory-shard-%d" % shard_id,
                 )
                 worker.start()
+                if use_ring:
+                    # a stalled put now exits as soon as the worker dies
+                    in_q.peer_alive = worker.is_alive
                 self._in_qs.append(in_q)
                 self._workers.append(worker)
         except Exception:
@@ -296,10 +348,12 @@ class ShardedObservatory:
         if self.telemetry.enabled:
             self.telemetry.register(
                 "coordinator", self._telemetry_row, deltas=("txns",))
+            link_deltas = RING_LINK_DELTAS if use_ring else ()
             for shard_id in range(self.shards):
                 self.telemetry.register(
                     "shard%d.link" % shard_id,
-                    self._make_link_sampler(shard_id))
+                    self._make_link_sampler(shard_id),
+                    deltas=link_deltas)
 
     def _telemetry_row(self, now):
         return {
@@ -313,13 +367,19 @@ class ShardedObservatory:
         in_q = self._in_qs[shard_id]
         worker = self._workers[shard_id]
 
-        def sample(now):
-            try:
-                depth = in_q.qsize()
-            except NotImplementedError:  # pragma: no cover - macOS queues
-                depth = 0
-            return {"queue_depth": depth,
-                    "alive": 1 if worker.is_alive() else 0}
+        if isinstance(in_q, RingSender):
+            def sample(now):
+                row = in_q.telemetry_row()
+                row["alive"] = 1 if worker.is_alive() else 0
+                return row
+        else:
+            def sample(now):
+                try:
+                    depth = in_q.qsize()
+                except NotImplementedError:  # pragma: no cover - macOS
+                    depth = 0
+                return {"queue_depth": depth,
+                        "alive": 1 if worker.is_alive() else 0}
 
         return sample
 
@@ -359,6 +419,11 @@ class ShardedObservatory:
         buffers = self._buffers
         batch_size = self.batch_size
         crc32 = zlib.crc32
+        # Partition keys repeat heavily (resolver/server pairs follow a
+        # Zipf law, §3), so memoize key -> shard: the steady-state cost
+        # per transaction is one dict hit instead of encode + crc32.
+        memo = self._shard_memo
+        memo_get = memo.get
         start = self._window_start
         end = None if start is None else start + window_seconds
         for txn in txns:
@@ -371,7 +436,14 @@ class ShardedObservatory:
                 dumps.extend(self._cut(align_window(ts, window_seconds)))
                 start = self._window_start
                 end = start + window_seconds
-            buffer = buffers[crc32(partition(txn).encode()) % shards]
+            key = partition(txn)
+            shard = memo_get(key)
+            if shard is None:
+                if len(memo) >= _SHARD_MEMO_LIMIT:
+                    memo.clear()
+                shard = crc32(key.encode()) % shards
+                memo[key] = shard
+            buffer = buffers[shard]
             buffer.append(txn)
             if len(buffer) >= batch_size:
                 self._dispatch_all()
@@ -398,8 +470,8 @@ class ShardedObservatory:
         if self._closed:
             return []
         self._dispatch_all(force=True)
-        for in_q in self._in_qs:
-            in_q.put(("finish",))
+        for shard_id in range(self.shards):
+            self._put(shard_id, ("finish",))
         states = []
         final_stats = {}
         worker_rows = []
@@ -463,6 +535,18 @@ class ShardedObservatory:
     # Coordinator internals
     # ------------------------------------------------------------------
 
+    def _put(self, shard_id, message):
+        """Send one upstream message, mapping ring faults (peer death,
+        watermark timeout) to the same named-RuntimeError teardown the
+        queue transport's reply timeout provides."""
+        try:
+            self._in_qs[shard_id].put(message)
+        except RingError as exc:
+            self.close()
+            raise RuntimeError(
+                "shard %d ring send failed: %s (%d shards)"
+                % (shard_id, exc, self.shards)) from None
+
     def _dispatch_all(self, force=False):
         """Ship every non-empty shard buffer (all of them when a cut
         or finish needs the workers fully caught up)."""
@@ -471,7 +555,7 @@ class ShardedObservatory:
         for shard_id, buffer in enumerate(self._buffers):
             if buffer and (force or len(buffer) >= self.batch_size):
                 payload = pack_batch(buffer)
-                self._in_qs[shard_id].put(("batch", payload))
+                self._put(shard_id, ("batch", payload))
                 if telemetry_on:
                     self._batch_counter.inc()
                     self._batch_txns.inc(len(buffer))
@@ -484,8 +568,8 @@ class ShardedObservatory:
         worker advance to *new_start*, merge the returned states."""
         flushed_start = self._window_start
         self._dispatch_all(force=True)
-        for in_q in self._in_qs:
-            in_q.put(("cut", new_start))
+        for shard_id in range(self.shards):
+            self._put(shard_id, ("cut", new_start))
         states = []
         worker_rows = []
         for _ in range(self.shards):

@@ -47,6 +47,8 @@ class TopKTracker:
         #: the specialized key extractor (PSL bound, memoized where
         #: the spec declares the key a function of one txn attribute)
         self._extract = spec.make_extractor(self._psl)
+        #: batch form of the same extractor (txns -> key list)
+        self._extract_batch = spec.make_batch_extractor(self._psl)
         #: transactions skipped by the dataset pre-filter
         self.filtered = 0
         #: transactions processed (offered to the SS cache)
@@ -70,6 +72,42 @@ class TopKTracker:
             entry.state = FeatureSet(self._hll_precision, self._psl)
         entry.state.update(txn, hashes)
         return entry
+
+    def observe_batch(self, txns, hashes_list):
+        """Process a window-aligned batch; returns transactions kept.
+
+        Equivalent to :meth:`observe` per transaction (the Space-
+        Saving updates happen in the same stream order), but key
+        extraction runs as one batch call -- the memoized datasets
+        amortize suffix matching to one dict hit per transaction --
+        and the offer/update loop is tight with everything pre-bound.
+        *hashes_list* aligns with *txns* (one shared
+        :class:`~repro.observatory.features.TxnHashes` each).
+        """
+        keys = self._extract_batch(txns)
+        offer = self.cache.offer
+        hll_precision = self._hll_precision
+        psl = self._psl
+        kept = 0
+        filtered = 0
+        index = 0
+        for key in keys:
+            if key is None:
+                filtered += 1
+                index += 1
+                continue
+            txn = txns[index]
+            entry = offer(key, txn.ts)
+            if entry is not None:
+                state = entry.state
+                if state is None:
+                    state = entry.state = FeatureSet(hll_precision, psl)
+                state.update(txn, hashes_list[index])
+                kept += 1
+            index += 1
+        self.filtered += filtered
+        self.processed += index - filtered
+        return kept
 
     def top(self, n=None):
         """Current top entries, heaviest first."""

@@ -172,3 +172,41 @@ def test_header_roundtrip_property(msg_id, qtype, qname, rcode):
     assert back.rcode == rcode
     assert back.question[0].qname == qname
     assert back.question[0].qtype == qtype
+
+
+class TestMemoryviewDecode:
+    """from_wire decodes through a memoryview (zero-slice parsing);
+    the materialized message must be indistinguishable from a bytes
+    decode, and must not retain views into the packet buffer."""
+
+    def test_memoryview_input_equals_bytes_input(self):
+        resp = make_answer_message()
+        wire = resp.to_wire()
+        from_bytes = Message.from_wire(wire)
+        from_view = Message.from_wire(memoryview(wire))
+        assert from_view.msg_id == from_bytes.msg_id
+        assert from_view.question == from_bytes.question
+        assert from_view.answer == from_bytes.answer
+        assert from_view.authority == from_bytes.authority
+        assert from_view.additional == from_bytes.additional
+
+    def test_decoded_message_outlives_the_buffer(self):
+        resp = make_answer_message()
+        wire = bytearray(resp.to_wire())
+        back = Message.from_wire(wire)
+        wire[:] = b"\x00" * len(wire)  # scribble over the packet buffer
+        assert back.question[0].qname == "www.example.com"
+        for rr in back.answer:
+            assert rr.rdata is not None
+        assert back == back  # no lazy views left to blow up on access
+
+    def test_address_rdata_from_view(self):
+        q = Message.make_query("v6.example", QTYPE.AAAA)
+        r = Message.make_response(q)
+        r.answer.append(ResourceRecord(
+            "v6.example", QTYPE.AAAA, 60, AAAA("2001:db8::7")))
+        r.answer.append(ResourceRecord(
+            "v6.example", QTYPE.A, 60, A("198.51.100.7")))
+        back = Message.from_wire(memoryview(r.to_wire()))
+        assert back.answer[0].rdata.address == "2001:db8::7"
+        assert back.answer[1].rdata.address == "198.51.100.7"

@@ -89,3 +89,55 @@ def test_spec_repr():
 def test_unknown_dataset():
     with pytest.raises(KeyError):
         make_dataset("nope")
+
+
+class TestBatchExtraction:
+    """make_batch_extractor must agree with the scalar extractor for
+    every dataset shape (memoized, filtered, plain), and the memoized
+    path must intern its keys (one string object served to every
+    Space-Saving cache across millions of lookups)."""
+
+    def _txns(self):
+        return [
+            make_txn(qname="www.example.com"),
+            make_txn(qname="mail.example.co.uk"),
+            make_txn(qname="www.example.com"),       # memo hit
+            make_txn(aa=False),                       # aafqdn-filtered
+            make_nxdomain(),
+            make_txn(answered=False),
+        ]
+
+    @pytest.mark.parametrize("name", sorted(DATASETS))
+    def test_matches_scalar_extractor(self, name):
+        spec = DATASETS[name]
+        scalar = spec.make_extractor()
+        batch = spec.make_batch_extractor()
+        txns = self._txns()
+        assert batch(txns) == [scalar(txn) for txn in txns]
+
+    def test_memoized_keys_are_interned(self):
+        spec = DATASETS["esld"]
+        batch = spec.make_batch_extractor()
+        # distinct qname strings with equal eSLDs must yield the same
+        # interned key object
+        a = make_txn(qname="a.long.sub.example.com")
+        b = make_txn(qname="b.other.sub.example.com")
+        keys = batch([a, b])
+        assert keys[0] == keys[1] == "example.com"
+        assert keys[0] is keys[1]
+
+    def test_memo_bound_clears_wholesale(self):
+        spec = DATASETS["esld"]
+        batch = spec.make_batch_extractor(cache_limit=4)
+        txns = [make_txn(qname="h%d.example%d.org" % (i, i))
+                for i in range(10)]
+        assert batch(txns) == ["example%d.org" % i for i in range(10)]
+        # and a rerun (through the cleared/refilled memo) still agrees
+        assert batch(txns) == ["example%d.org" % i for i in range(10)]
+
+    def test_filtered_dataset_yields_nones(self):
+        spec = DATASETS["aafqdn"]
+        batch = spec.make_batch_extractor()
+        keys = batch([make_txn(aa=True), make_txn(aa=False)])
+        assert keys[0] == "www.example.com|A"
+        assert keys[1] is None

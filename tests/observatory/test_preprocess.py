@@ -162,3 +162,35 @@ def test_source_label_propagates():
     qpkt, _ = query_response_pair()
     txn = summarize_transaction(qpkt, None, 0.0, source="sensor-17")
     assert txn.source == "sensor-17"
+
+
+class TestSummarizeBatch:
+    def test_batch_matches_per_record_parsing(self):
+        from repro.observatory.preprocess import summarize_batch
+
+        records = []
+        for i in range(5):
+            qpkt, rpkt = query_response_pair(
+                qname="h%d.example.com" % i,
+                answers=[ResourceRecord("h%d.example.com" % i, QTYPE.A,
+                                        300, A("198.51.100.%d" % (i + 1)))])
+            records.append((qpkt, rpkt, 100.0 + i, 100.02 + i))
+        txns = summarize_batch(records, source="srcX")
+        assert len(txns) == 5
+        for i, txn in enumerate(txns):
+            expected = summarize_transaction(*records[i], source="srcX")
+            assert txn.to_line(exact=True) == expected.to_line(exact=True)
+
+    def test_batch_skips_malformed_and_reports(self):
+        from repro.observatory.preprocess import summarize_batch
+
+        good_q, good_r = query_response_pair()
+        bad_q = build_udp_ipv4("10.0.0.1", "192.0.2.53", 1234, 53,
+                               b"\x00\x01")  # truncated DNS header
+        errors = []
+        txns = summarize_batch(
+            [(good_q, good_r, 1.0, 1.01), (bad_q, None, 2.0)],
+            on_error=lambda record, exc: errors.append(exc))
+        assert len(txns) == 1 and txns[0].ts == 1.0
+        assert len(errors) == 1
+        assert isinstance(errors[0], PreprocessError)

@@ -1,0 +1,313 @@
+"""Tests for the shared-memory SPSC ring transport.
+
+The ring is the only component in the codebase doing lock-free
+cross-process byte plumbing, so the tests lean on properties: frame
+roundtrips over the whole payload-size range (hypothesis), byte-wise
+wraparound across many segment laps, watermark backpressure, and the
+fault contract (timeout and SIGKILLed-peer both surface as named
+``RuntimeError`` subclasses, never a hang).
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observatory.ringbuf import (
+    RingError,
+    RingHandle,
+    RingPeerDead,
+    RingReceiver,
+    RingSender,
+    RingTimeout,
+    SpscRing,
+)
+
+
+@pytest.fixture
+def ring():
+    r = SpscRing.create(256)
+    yield r
+    r.close()
+
+
+class TestFrameRoundtrip:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=60), max_size=20))
+    def test_sequential_roundtrip(self, payloads):
+        """Any sequence of payloads (0..max_payload bytes each) comes
+        back identical and in order, one frame at a time."""
+        ring = SpscRing.create(64)
+        try:
+            assert ring.max_payload() == 60
+            for payload in payloads:
+                assert ring.try_write(payload) is True
+                assert ring.try_read() == payload
+            assert ring.try_read() is False
+        finally:
+            ring.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_interleaved_roundtrip(self, data):
+        """Random write/read interleavings (bounded by capacity) never
+        lose, duplicate, or reorder frames."""
+        ring = SpscRing.create(128)
+        try:
+            pending = []
+            for step in range(data.draw(st.integers(0, 40))):
+                if data.draw(st.booleans()):
+                    payload = data.draw(
+                        st.binary(min_size=0, max_size=40),
+                        label="payload %d" % step)
+                    if ring.try_write(payload):
+                        pending.append(payload)
+                else:
+                    got = ring.try_read()
+                    if pending:
+                        assert got == pending.pop(0)
+                    else:
+                        assert got is False
+            for payload in pending:
+                assert ring.try_read() == payload
+            assert ring.try_read() is False
+        finally:
+            ring.close()
+
+    def test_empty_payload(self, ring):
+        assert ring.try_write(b"") is True
+        assert ring.try_read() == b""
+
+    def test_max_payload_exact_fit(self):
+        ring = SpscRing.create(64)
+        try:
+            payload = bytes(range(60))
+            assert ring.try_write(payload) is True
+            assert ring.occupancy() == 64
+            assert ring.try_write(b"") is False  # full to the last byte
+            assert ring.try_read() == payload
+        finally:
+            ring.close()
+
+    def test_multi_part_frames_concatenate(self, ring):
+        assert ring.try_write_parts((b"\x01", b"abc", b"", b"def"))
+        assert ring.try_read() == b"\x01abcdef"
+
+
+class TestWraparound:
+    def test_frames_straddle_the_boundary(self):
+        """Frame sizes coprime with the capacity force the length
+        prefix and the payload to straddle the segment edge on every
+        lap; contents must survive many laps."""
+        ring = SpscRing.create(64)
+        try:
+            for i in range(200):
+                payload = bytes(((i + j) % 256 for j in range(13)))
+                assert ring.try_write(payload) is True
+                assert ring.try_read() == payload
+            # counters are free-running: far past capacity by now
+            assert ring._head() == 200 * (4 + 13)
+            assert ring.occupancy() == 0
+        finally:
+            ring.close()
+
+    def test_varied_sizes_across_laps(self):
+        ring = SpscRing.create(96)
+        try:
+            sizes = [0, 1, 31, 7, 64, 17, 3, 92, 5]
+            for lap in range(30):
+                for size in sizes:
+                    payload = os.urandom(size)
+                    assert ring.try_write(payload) is True
+                    assert ring.try_read() == payload
+        finally:
+            ring.close()
+
+
+class TestBackpressure:
+    def test_try_write_false_when_full(self, ring):
+        writes = 0
+        while ring.try_write(b"x" * 28):
+            writes += 1
+        assert writes == 8  # 8 * (4 + 28) == 256
+        assert ring.try_write(b"x" * 28) is False
+        assert ring.try_read() == b"x" * 28
+        assert ring.try_write(b"x" * 28) is True  # space reclaimed
+
+    def test_oversized_payload_raises(self, ring):
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.try_write(b"x" * 253)  # 253 + 4 > 256
+
+    def test_blocking_write_times_out(self, ring):
+        while ring.try_write(b"x" * 28):
+            pass
+        with pytest.raises(RingTimeout, match="timed out"):
+            ring.write(b"y", timeout=0.05)
+
+    def test_blocking_read_times_out(self, ring):
+        with pytest.raises(RingTimeout, match="timed out"):
+            ring.read(timeout=0.05)
+
+    def test_peer_death_interrupts_write(self, ring):
+        while ring.try_write(b"x" * 28):
+            pass
+        with pytest.raises(RingPeerDead):
+            ring.write(b"y", timeout=5.0, peer_alive=lambda: False)
+
+    def test_peer_death_interrupts_read(self, ring):
+        with pytest.raises(RingPeerDead):
+            ring.read(timeout=5.0, peer_alive=lambda: False)
+
+    def test_ring_errors_are_runtime_errors(self):
+        """The PR 2 fault contract: transport faults surface as named
+        RuntimeErrors the coordinator can catch uniformly."""
+        assert issubclass(RingTimeout, RingError)
+        assert issubclass(RingPeerDead, RingError)
+        assert issubclass(RingError, RuntimeError)
+
+
+class TestEofAndLifecycle:
+    def test_close_write_drains_then_eof(self, ring):
+        ring.try_write(b"tail")
+        ring.close_write()
+        assert ring.try_read() == b"tail"
+        assert ring.try_read() is None  # clean EOF, not "would block"
+        assert ring.read(timeout=1.0) is None
+
+    def test_attach_shares_the_segment(self, ring):
+        other = SpscRing.attach(ring.handle)
+        try:
+            assert ring.try_write(b"hello") is True
+            assert other.try_read() == b"hello"
+            assert other.try_write(b"back") is True
+            assert ring.try_read() == b"back"
+        finally:
+            other.close()
+
+    def test_handle_is_picklable_descriptor(self, ring):
+        import pickle
+        handle = pickle.loads(pickle.dumps(ring.handle))
+        assert isinstance(handle, RingHandle)
+        assert handle.name == ring.handle.name
+        assert handle.capacity == ring.capacity
+
+    def test_owner_close_unlinks(self):
+        from multiprocessing import shared_memory
+        ring = SpscRing.create(64)
+        name = ring.handle.name
+        ring.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_close_is_idempotent(self, ring):
+        ring.close()
+        ring.close()
+
+
+class TestProtocolEndpoints:
+    def test_tagged_message_roundtrip(self, ring):
+        sender = RingSender(ring)
+        receiver = RingReceiver(ring)
+        sender.put(("batch", b"line1\nline2"))
+        sender.put(("cut", 120))
+        sender.put(("cut", 120.5))
+        sender.put(("finish",))
+        assert receiver.get() == ("batch", b"line1\nline2")
+        got = receiver.get()
+        assert got == ("cut", 120)
+        assert isinstance(got[1], int)  # exact integer grid restored
+        assert receiver.get() == ("cut", 120.5)
+        assert receiver.get() == ("finish",)
+
+    def test_batch_payload_accepts_bytearray(self, ring):
+        """The ring transport hands the reusable encode buffer over
+        directly; it must be copied out synchronously."""
+        sender = RingSender(ring)
+        receiver = RingReceiver(ring)
+        buf = bytearray(b"first")
+        sender.put(("batch", buf))
+        del buf[:]
+        buf += b"second"
+        sender.put(("batch", buf))
+        assert receiver.get() == ("batch", b"first")
+        assert receiver.get() == ("batch", b"second")
+
+    def test_unknown_tag_rejected(self, ring):
+        sender = RingSender(ring)
+        with pytest.raises(ValueError, match="unknown ring message"):
+            sender.put(("bogus",))
+
+    def test_producer_eof_reads_as_finish(self, ring):
+        ring.close_write()
+        assert RingReceiver(ring).get() == ("finish",)
+
+    def test_sender_counts_frames_and_bytes(self, ring):
+        sender = RingSender(ring)
+        sender.put(("batch", b"12345678"))
+        sender.put(("finish",))
+        row = sender.telemetry_row()
+        assert row["frames"] == 2
+        assert row["bytes"] == 9 + 1  # tag + payload, tag only
+        assert row["stalls"] == 0
+
+    def test_sender_counts_stalls(self):
+        ring = SpscRing.create(32)
+        try:
+            sender = RingSender(ring, timeout=0.05)
+            sender.put(("batch", b"x" * 20))
+            with pytest.raises(RingError, match="timed out"):
+                sender.put(("batch", b"y" * 20))
+            row = sender.telemetry_row()
+            assert row["stalls"] == 1
+            assert row["stall_ms"] > 0
+        finally:
+            ring.close()
+
+    def test_sender_error_names_the_link(self):
+        ring = SpscRing.create(32)
+        try:
+            sender = RingSender(ring, name="shard 3 ring", timeout=0.05)
+            sender.put(("batch", b"x" * 20))
+            with pytest.raises(RingError, match="shard 3 ring"):
+                sender.put(("batch", b"y" * 20))
+        finally:
+            ring.close()
+
+
+def _consume_forever(handle):  # pragma: no cover - child process body
+    ring = SpscRing.attach(handle)
+    try:
+        time.sleep(3600)
+    finally:
+        ring.close()
+
+
+class TestCrossProcess:
+    def test_sigkilled_consumer_surfaces_as_peer_dead(self):
+        """SIGKILL-mid-write recovery: a producer blocked on a full
+        ring whose consumer is killed gets RingPeerDead within the
+        liveness poll interval -- never a hang."""
+        ctx = multiprocessing.get_context(
+            "fork" if hasattr(os, "fork") else None)
+        ring = SpscRing.create(64)
+        child = ctx.Process(target=_consume_forever, args=(ring.handle,),
+                            daemon=True)
+        child.start()
+        try:
+            while ring.try_write(b"x" * 28):
+                pass  # fill the ring; the child never drains it
+            os.kill(child.pid, signal.SIGKILL)
+            child.join(timeout=5.0)
+            started = time.monotonic()
+            with pytest.raises(RingPeerDead):
+                ring.write(b"y" * 28, timeout=30.0,
+                           peer_alive=child.is_alive)
+            assert time.monotonic() - started < 5.0
+        finally:
+            if child.is_alive():  # pragma: no cover - cleanup path
+                child.terminate()
+            ring.close()

@@ -58,7 +58,8 @@ class TestEquivalence:
         return _run_single(txns)
 
     @pytest.mark.parametrize("shards,transport", [
-        (2, "pickle"), (4, "pickle"), (2, "binary"), (4, "binary")])
+        (2, "pickle"), (4, "pickle"), (2, "binary"), (4, "binary"),
+        (2, "ring"), (4, "ring")])
     def test_dumps_match_single_process(self, txns, single, shards,
                                         transport):
         sharded = _run_sharded(txns, shards, transport=transport)
@@ -118,7 +119,7 @@ class TestEquivalence:
 
 
 class TestShardedMechanics:
-    @pytest.mark.parametrize("transport", ["pickle", "binary"])
+    @pytest.mark.parametrize("transport", ["pickle", "binary", "ring"])
     def test_tsv_output_matches_single(self, tmp_path, transport):
         txns = _stream(duration=130.0, qps=15.0)
         single_dir = tmp_path / "single"
@@ -232,7 +233,7 @@ class TestWorkerFailure:
     processes behind (regression: ``_next_reply`` used to let a bare
     ``queue.Empty`` escape without ever calling ``close()``)."""
 
-    @pytest.mark.parametrize("transport", ["pickle", "binary"])
+    @pytest.mark.parametrize("transport", ["pickle", "binary", "ring"])
     def test_sigkill_mid_run_raises_and_reaps_workers(self, transport):
         obs = ShardedObservatory(shards=2, datasets=[("srvip", 16)],
                                  timeout=2.0, transport=transport)

@@ -223,6 +223,19 @@ class TestBatchCodec:
         assert back[0].answered is False and back[0].rcode is None
         assert back[1].nxdomain
 
+    def test_encode_batch_into_reuses_buffer(self):
+        from repro.observatory.transport import encode_batch_into
+        buf = bytearray(b"stale contents from the last batch")
+        txns = [make_txn(ts=1.0), make_txn(ts=2.0)]
+        out = encode_batch_into(txns, buf)
+        assert out is buf  # same object, grown in place
+        assert decode_batch(bytes(buf)) and len(decode_batch(bytes(buf))) == 2
+        # a following smaller batch must fully replace the contents
+        out = encode_batch_into([make_txn(ts=3.0)], buf)
+        assert out is buf
+        assert len(decode_batch(bytes(buf))) == 1
+        assert encode_batch_into([], buf) == b""
+
 
 class TestTransportInterface:
     def test_get_transport(self):
@@ -232,6 +245,21 @@ class TestTransportInterface:
         assert get_transport(custom) is custom
         with pytest.raises(ValueError, match="unknown transport"):
             get_transport("carrier-pigeon")
+
+    def test_ring_transport_flags_and_buffer_handoff(self):
+        from repro.observatory.transport import RingTransport
+        codec = get_transport("ring")
+        assert isinstance(codec, RingTransport)
+        assert codec.is_ring is True
+        assert get_transport("pickle").is_ring is False
+        assert get_transport("binary").is_ring is False
+        # ring hands back the reusable buffer itself (the ring copies
+        # synchronously); binary snapshots it (queues copy async)
+        txns = [make_txn(ts=1.0)]
+        assert isinstance(codec.pack_batch(txns), bytearray)
+        assert codec.pack_batch(txns) is codec.pack_batch(txns)
+        assert isinstance(get_transport("binary").pack_batch(txns), bytes)
+        assert codec.unpack_batch(codec.pack_batch(txns))[0].ts == 1.0
 
     def test_pickle_transport_is_passthrough(self):
         codec = PickleTransport()

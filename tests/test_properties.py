@@ -238,11 +238,12 @@ def _tsv_tree(directory):
     return out
 
 
+@pytest.mark.parametrize("transport", ["binary", "ring"])
 @pytest.mark.parametrize("seed", DIFF_SEEDS)
-def test_sharded_replay_matches_single_process(seed, tmp_path):
+def test_sharded_replay_matches_single_process(seed, transport, tmp_path):
     """simulate | replay == simulate | replay --shards 2 --transport
-    binary --telemetry: same filenames, same rows, for five random
-    workloads, through the real CLI."""
+    {binary,ring} --telemetry: same filenames, same rows, for five
+    random workloads, through the real CLI."""
     from repro.cli import main as cli_main
 
     stream = tmp_path / "stream.txt"
@@ -253,7 +254,7 @@ def test_sharded_replay_matches_single_process(seed, tmp_path):
     sharded = tmp_path / "sharded"
     assert cli_main(["replay", str(stream), str(single)]) == 0
     assert cli_main(["replay", str(stream), str(sharded),
-                     "--shards", "2", "--transport", "binary",
+                     "--shards", "2", "--transport", transport,
                      "--telemetry"]) == 0
     ours, theirs = _tsv_tree(str(single)), _tsv_tree(str(sharded))
     assert sorted(ours) == sorted(theirs)

@@ -14,7 +14,11 @@ Subcommands:
 * ``aggregate`` -- roll minutely TSV files up the granularity chain
   and apply retention;
 * ``serve``    -- run the asyncio HTTP query API over an output
-  directory (top-k, per-key series, platform-health alerting).
+  directory (top-k, per-key series, platform-health alerting);
+* ``run``      -- live daemon: drive the simulator (or a transaction
+  stream on stdin) through the ingest pipeline while serving HTTP
+  from the same process, each window pushed to ``/series?follow=``
+  long-polls and ``/stream`` SSE subscribers the moment it flushes.
 """
 
 import argparse
@@ -233,6 +237,54 @@ def cmd_serve(args):
         stream_threshold=args.stream_threshold)
 
 
+def cmd_run(args):
+    from repro.daemon import LiveDaemon, stdin_transactions
+
+    if args.shards < 1:
+        raise SystemExit("error: --shards must be >= 1, got %d"
+                         % args.shards)
+    if args.max_connections < 1:
+        raise SystemExit("error: --max-connections must be >= 1")
+    scenario = None if args.input is not None else _build_scenario(args)
+
+    def source(stop):
+        if args.input is None:
+            return SieChannel(scenario).run()
+        if args.input == "-":
+            return stdin_transactions(stop)
+
+        def lines():
+            with open(args.input) as fh:
+                for line in fh:
+                    if stop.is_set():
+                        return
+                    if line.strip():
+                        yield Transaction.from_line(line)
+
+        return lines()
+
+    def ready(srv):
+        what = "stdin" if args.input == "-" else (
+            args.input or "%s scenario" % args.preset)
+        print("live daemon: %s -> %s on http://%s:%d  "
+              "(window=%gs, pace=%g, shards=%d)"
+              % (what, args.output_dir, srv.host, srv.port,
+                 args.window, args.pace, args.shards))
+        sys.stdout.flush()
+
+    daemon = LiveDaemon(
+        source, args.output_dir, datasets=args.datasets, k=args.k,
+        window_seconds=args.window, shards=args.shards,
+        transport=args.transport, ring_bytes=args.ring_bytes,
+        pace=args.pace, host=args.host, port=args.port,
+        cache_windows=args.cache_windows,
+        max_connections=args.max_connections,
+        stream_threshold=args.stream_threshold,
+        rules=None if args.rules is None else _load_rules(args.rules),
+        exit_when_done=args.exit_when_done, ready_callback=ready)
+    return daemon.run()
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="dns-observatory",
@@ -326,6 +378,53 @@ def build_parser():
                    help="alert-rule file for /platform/health "
                         "(default: built-in rules)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("run", help="live daemon: ingest + HTTP API in "
+                                   "one process")
+    _add_scenario_args(p)
+    p.add_argument("output_dir", help="directory for TSV time series "
+                                      "(also the serving root)")
+    p.add_argument("--input", default=None, metavar="FILE",
+                   help="ingest a transaction-line file ('-' = stdin, "
+                        "an SIE-style pipe) instead of the simulator")
+    p.add_argument("--datasets", nargs="+",
+                   default=["srvip", "qname", "esld", "qtype"])
+    p.add_argument("--k", type=int, default=2000, help="Top-k size")
+    p.add_argument("--window", type=float, default=60.0,
+                   help="statistics window seconds (the paper dumps "
+                        "every 60 s)")
+    p.add_argument("--pace", type=float, default=1.0, metavar="SPEED",
+                   help="map stream time onto wall time at SPEED x "
+                        "(1 = real time, 10 = 10x compressed; 0 = "
+                        "ingest as fast as possible)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="ingest with N sharded worker processes")
+    p.add_argument("--transport", choices=["pickle", "binary", "ring"],
+                   default="pickle",
+                   help="shard transport codec (with --shards > 1)")
+    p.add_argument("--ring-bytes", type=int, default=None,
+                   metavar="BYTES",
+                   help="per-shard ring capacity for --transport ring")
+    p.add_argument("--exit-when-done", action="store_true",
+                   help="exit once the input stream is exhausted "
+                        "instead of continuing to serve")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default loopback only)")
+    p.add_argument("--port", type=int, default=8053,
+                   help="listen port (0 = pick a free port)")
+    p.add_argument("--cache-windows", type=int, default=256,
+                   help="parsed windows held in the store LRU cache")
+    p.add_argument("--max-connections", type=int, default=64,
+                   help="connection cap; past it requests get "
+                        "503 + Retry-After")
+    p.add_argument("--stream-threshold", type=int, default=None,
+                   metavar="BYTES",
+                   help="stream (chunked) /series and /key answers "
+                        "whose backing files exceed BYTES")
+    p.add_argument("--rules", metavar="FILE", default=None,
+                   help="alert-rule file for /platform/health (daemon "
+                        "heartbeat rules are appended either way)")
+    p.set_defaults(func=cmd_run)
     return parser
 
 

@@ -140,6 +140,17 @@ worker-liveness: shard*.alive >= 1
 flush-latency:   window.flush_ms_p95 < 250
 """))
 
+#: Extra rules the live ``run`` daemon appends to its rule set: the
+#: ingest thread must be healthy (``ingest_ok`` drops to 0 when the
+#: source loop dies) and a paced stream must not slip more than a
+#: window's worth of wall clock behind schedule.  Kept out of
+#: :data:`DEFAULT_RULES` so a plain ``serve`` deployment does not
+#: report perpetual ``no_data`` verdicts for a daemon it is not.
+DAEMON_RULES = tuple(parse_rules("""
+daemon-ingest: daemon.ingest_ok >= 1
+daemon-lag:    daemon.ingest_lag_s < 5 for 2 windows
+"""))
+
 
 class Verdict:
     """Outcome of one rule against one component's recent windows."""

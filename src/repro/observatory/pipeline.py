@@ -51,12 +51,20 @@ class Observatory:
         emits a ``_platform`` meta-dataset dump (sketch saturation,
         gate churn, flush latency) through the same sink/TSV path.
         Disabled by default at zero hot-path cost.
+    flush_hook:
+        Optional callable invoked with the full file path of every TSV
+        window the moment it lands on disk (after the atomic
+        ``os.replace``).  The live daemon uses it to reconcile the
+        serving store and wake push subscribers without a directory
+        re-scan; it runs on the ingest thread, so it must be cheap and
+        must not raise.
     """
 
     def __init__(self, datasets=("srvip",), window_seconds=60.0,
                  output_dir=None, keep_dumps=True, tau=300.0,
                  use_bloom_gate=True, hll_precision=8, psl=None,
-                 skip_recent_inserts=True, telemetry=False):
+                 skip_recent_inserts=True, telemetry=False,
+                 flush_hook=None):
         self._trackers = {}
         for item in datasets:
             spec = self._resolve(item)
@@ -68,6 +76,7 @@ class Observatory:
             )
         self.output_dir = output_dir
         self.keep_dumps = keep_dumps
+        self.flush_hook = flush_hook
         self.dumps = {name: [] for name in self._trackers}
         self.telemetry = resolve_telemetry(telemetry)
         self.windows = WindowManager(
@@ -173,4 +182,7 @@ class Observatory:
             # written: a gap must not litter the directory with
             # header-only files, and aggregation treats a missing
             # minutely file exactly like an all-zero one.
-            write_tsv(self.output_dir, dump.to_timeseries("minutely"))
+            path = write_tsv(self.output_dir,
+                             dump.to_timeseries("minutely"))
+            if self.flush_hook is not None:
+                self.flush_hook(path)

@@ -268,7 +268,7 @@ class ShardedObservatory:
                  skip_recent_inserts=True, batch_size=DEFAULT_BATCH_SIZE,
                  partition="srcsrv", transport="pickle",
                  ring_bytes=DEFAULT_RING_BYTES, mp_context=None,
-                 timeout=300.0, telemetry=False):
+                 timeout=300.0, telemetry=False, flush_hook=None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = int(shards)
@@ -278,6 +278,9 @@ class ShardedObservatory:
         self.output_dir = output_dir
         self.keep_dumps = keep_dumps
         self.sink = sink
+        #: called with the TSV path of every flushed window (see
+        #: :class:`~repro.observatory.pipeline.Observatory`)
+        self.flush_hook = flush_hook
         self.skip_recent_inserts = skip_recent_inserts
         self.batch_size = int(batch_size)
         self.timeout = timeout
@@ -644,7 +647,10 @@ class ShardedObservatory:
         if self.output_dir is not None and dump.rows:
             # Same rule as Observatory._sink: gaps must not litter the
             # directory with header-only files.
-            write_tsv(self.output_dir, dump.to_timeseries("minutely"))
+            path = write_tsv(self.output_dir,
+                             dump.to_timeseries("minutely"))
+            if self.flush_hook is not None:
+                self.flush_hook(path)
         if self.sink is not None:
             self.sink(dump)
 

@@ -58,8 +58,9 @@ from repro.observatory.tsv import (
 #: manifest filename, stored inside the series directory
 MANIFEST_NAME = ".observatory-manifest.json"
 
-#: manifest schema version (bump on incompatible layout changes)
-MANIFEST_VERSION = 1
+#: manifest schema version (bump on incompatible layout changes);
+#: v2 added the inode to the per-file identity token
+MANIFEST_VERSION = 2
 
 #: distinct range-accumulations memoized per store (see ``accumulate``)
 ACCUMULATE_CACHE = 16
@@ -69,17 +70,22 @@ class WindowRef:
     """One indexed window file: identity plus lazily-learned metadata."""
 
     __slots__ = ("path", "dataset", "granularity", "start_ts",
-                 "mtime_ns", "size", "rows", "stats")
+                 "mtime_ns", "size", "ino", "rows", "stats")
 
     def __init__(self, path, dataset, granularity, start_ts,
-                 mtime_ns, size, rows=None, stats=None):
+                 mtime_ns, size, ino=0, rows=None, stats=None):
         self.path = path
         self.dataset = dataset
         self.granularity = granularity
         self.start_ts = start_ts
-        #: file identity: changed mtime/size invalidates cache + metadata
+        #: file identity: changed mtime/size/inode invalidates cache +
+        #: metadata.  The inode matters because the atomic write path
+        #: (``os.replace``) produces a *new* file every flush: on
+        #: filesystems with coarse mtime granularity a same-size
+        #: rewrite inside one mtime tick would otherwise be invisible.
         self.mtime_ns = mtime_ns
         self.size = size
+        self.ino = ino
         #: row count, learned on first parse (None = not parsed yet)
         self.rows = rows
         #: collection stats from the ``#stats`` line, learned on parse
@@ -89,14 +95,17 @@ class WindowRef:
     def end_ts(self):
         return self.start_ts + GRANULARITIES[self.granularity]
 
-    def same_file(self, mtime_ns, size):
-        return self.mtime_ns == mtime_ns and self.size == size
+    def same_file(self, mtime_ns, size, ino):
+        return (self.mtime_ns == mtime_ns and self.size == size
+                and self.ino == ino)
 
     def etag_token(self):
-        """Identity token for HTTP ETags: name + mtime + size pins the
-        exact immutable file revision this response was built from."""
-        return "%s:%d:%d" % (os.path.basename(self.path),
-                             self.mtime_ns, self.size)
+        """Identity token for HTTP ETags: name + mtime + size + inode
+        pins the exact immutable file revision this response was built
+        from (the inode distinguishes a same-size ``os.replace``
+        rewrite landing inside one coarse mtime tick)."""
+        return "%s:%d:%d:%d" % (os.path.basename(self.path),
+                                self.mtime_ns, self.size, self.ino)
 
 
 class _SeriesIndex:
@@ -208,13 +217,15 @@ class SeriesStore:
         self.cache_misses = 0
         self.parses = 0
         self.refreshes = 0
+        #: single-file reconciliations via :meth:`notify_flush`
+        self.notifications = 0
         if self._use_manifest:
             self._load_manifest()
         self.refresh()
         if telemetry is not None and getattr(telemetry, "enabled", False):
             telemetry.register("store", self.telemetry_row,
                                deltas=("hits", "misses", "parses",
-                                       "refreshes"))
+                                       "refreshes", "notifications"))
 
     # -- index maintenance ---------------------------------------------
 
@@ -247,12 +258,14 @@ class SeriesStore:
                 seen.add(path)
                 ref = self._index.get(path)
                 if ref is not None and ref.same_file(st.st_mtime_ns,
-                                                     st.st_size):
+                                                     st.st_size,
+                                                     st.st_ino):
                     continue
                 changed += 1
                 self._cache.pop(path, None)
                 self._set_ref(WindowRef(path, dataset, gran, start,
-                                        st.st_mtime_ns, st.st_size))
+                                        st.st_mtime_ns, st.st_size,
+                                        st.st_ino))
             for path in list(self._index):
                 if path not in seen:
                     changed += 1
@@ -261,6 +274,45 @@ class SeriesStore:
                 self._dirty = True
                 self._save_manifest()
             return changed
+
+    def notify_flush(self, path):
+        """Reconcile exactly one flushed file into the index.
+
+        The live-daemon hook: a writer that knows which window it just
+        flushed calls this instead of forcing a full :meth:`refresh`
+        directory scan per flush, so index maintenance is O(1) per
+        window rather than O(indexed windows).  Stats the file, drops
+        any stale cache entry, and returns the fresh
+        :class:`WindowRef` (``None`` when the path does not parse as a
+        series file or has vanished).  The manifest is marked dirty
+        but not rewritten -- call :meth:`flush_manifest` at shutdown.
+        """
+        name = os.path.basename(path)
+        try:
+            dataset, gran, start = parse_filename(name)
+        except ValueError:
+            return None
+        path = os.path.join(self.directory, name)
+        try:
+            st = os.stat(path)
+        except OSError:
+            with self._lock:
+                if path in self._index:
+                    self._drop_ref(path)
+                    self._dirty = True
+            return None
+        with self._lock:
+            self.notifications += 1
+            ref = self._index.get(path)
+            if ref is not None and ref.same_file(st.st_mtime_ns,
+                                                 st.st_size, st.st_ino):
+                return ref
+            self._cache.pop(path, None)
+            ref = WindowRef(path, dataset, gran, start,
+                            st.st_mtime_ns, st.st_size, st.st_ino)
+            self._set_ref(ref)
+            self._dirty = True
+            return ref
 
     def _set_ref(self, ref):
         old = self._index.get(ref.path)
@@ -310,6 +362,7 @@ class SeriesStore:
                 ref = WindowRef(
                     os.path.join(self.directory, name), dataset, gran,
                     start, int(meta["mtime_ns"]), int(meta["size"]),
+                    ino=int(meta["ino"]),
                     rows=meta.get("rows"), stats=meta.get("stats"))
             except (KeyError, TypeError, ValueError):
                 continue
@@ -324,6 +377,7 @@ class SeriesStore:
             os.path.basename(ref.path): {
                 "mtime_ns": ref.mtime_ns,
                 "size": ref.size,
+                "ino": ref.ino,
                 "rows": ref.rows,
                 "stats": ref.stats,
             }
@@ -556,6 +610,7 @@ class SeriesStore:
                 "cached_windows": len(self._cache),
                 "capacity": self.cache_windows,
                 "indexed_windows": len(self._index),
+                "notifications": self.notifications,
             }
 
     def telemetry_row(self, now):
@@ -569,6 +624,7 @@ class SeriesStore:
             "indexed_windows": info["indexed_windows"],
             "parses": self.parses,
             "refreshes": self.refreshes,
+            "notifications": self.notifications,
         }
 
     def __len__(self):

@@ -37,12 +37,19 @@ __all__ = [
 async def build_server(directory, host="127.0.0.1", port=8053,
                        follow=False, cache_windows=256, rules=None,
                        max_connections=64, store=None, telemetry=None,
-                       stream_threshold=None):
+                       stream_threshold=None, broker=None,
+                       daemon_status=None):
     """Wire store + app + server and start listening.
 
     The default bind is loopback: the API has no auth story, so
     exposing it beyond the host is an explicit operator decision
     (``--host 0.0.0.0`` behind a real proxy).
+
+    *broker* (a :class:`~repro.server.push.FlushBroker`) and
+    *daemon_status* are the live-daemon hooks: with a broker wired,
+    ``/series?follow=`` and ``/stream`` subscribers wake on flush
+    notifications instead of polling, and *daemon_status* is merged
+    into ``/platform/health``.
 
     Returns ``(server, app)``; the caller drives
     ``server.serve_forever()`` (or ``wait_closed`` after
@@ -59,7 +66,8 @@ async def build_server(directory, host="127.0.0.1", port=8053,
                          telemetry=registry,
                          stream_threshold=STREAM_THRESHOLD_BYTES
                          if stream_threshold is None
-                         else stream_threshold)
+                         else stream_threshold,
+                         broker=broker, daemon_status=daemon_status)
     server = ObservatoryServer(app, host=host, port=port,
                                max_connections=max_connections)
     app.server = server

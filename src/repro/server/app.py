@@ -6,8 +6,14 @@ Endpoints (all GET):
   count and covered time span (no file opens);
 * ``/series/<dataset>`` -- per-window rows over a time range
   (``granularity=``, ``start=``, ``end=``, ``limit=`` newest windows;
-  ``cursor=`` pages forward from a start timestamp, the response's
-  ``next_cursor`` feeding the next page);
+  ``cursor=`` pages forward from a start timestamp -- exclusive of
+  windows already returned -- the response's ``next_cursor`` feeding
+  the next page; ``follow=<cursor>`` long-polls until a window past
+  the cursor exists, an empty ``follow=`` tailing from "now");
+* ``/stream/<dataset>`` -- Server-Sent Events: one ``event: window``
+  per flushed window the moment it lands, with ``id:``/
+  ``Last-Event-ID`` lossless resume, comment heartbeats while idle,
+  and a final ``event: eof`` when the daemon drains on SIGTERM;
 * ``/topk/<dataset>`` -- top-``n`` keys ranked ``by=`` a column over a
   range (the paper's "top-k FQDNs now" question);
 * ``/key/<dataset>/<key>`` -- one key's ``column=`` time series;
@@ -37,6 +43,7 @@ first-byte-latency instruments live in the shared
 monitorable with the same machinery as the ingest pipeline.
 """
 
+import asyncio
 import hashlib
 import json
 import time
@@ -61,6 +68,19 @@ RESPONSE_CACHE = 128
 #: answers computed from more than this many bytes of backing TSV are
 #: streamed (chunked transfer-encoding) and bypass the body cache
 STREAM_THRESHOLD_BYTES = 256 * 1024
+
+#: default / ceiling for the ``timeout=`` of a ``follow=`` long-poll
+FOLLOW_TIMEOUT_DEFAULT = 25.0
+FOLLOW_TIMEOUT_MAX = 120.0
+
+#: idle SSE connections get a comment-line heartbeat this often, so a
+#: dead client is detected within one interval (the write fails) and
+#: proxies do not reap the connection as idle
+SSE_HEARTBEAT_SECONDS = 15.0
+
+#: fallback poll interval for follow/stream when no broker is wired
+#: (plain ``serve --follow`` deployments: the store re-scans per query)
+FOLLOW_POLL_SECONDS = 1.0
 
 
 class ObservatoryApp:
@@ -87,16 +107,28 @@ class ObservatoryApp:
         0 streams everything with a body.
     """
 
-    ROUTES = ("datasets", "series", "topk", "key", "platform")
+    ROUTES = ("datasets", "series", "topk", "key", "platform", "stream")
 
     def __init__(self, store, rules=alerts.DEFAULT_RULES, telemetry=None,
-                 server=None, stream_threshold=STREAM_THRESHOLD_BYTES):
+                 server=None, stream_threshold=STREAM_THRESHOLD_BYTES,
+                 broker=None, daemon_status=None):
         self.store = store
         self.rules = list(rules)
         self.server = server
         self.stream_threshold = int(stream_threshold)
         self.telemetry = resolve_telemetry(telemetry)
-        self.started_at = time.time()
+        #: optional :class:`~repro.server.push.FlushBroker`; when wired
+        #: (the live daemon), follow/stream subscribers wake on flush
+        #: instead of polling the store on an interval
+        self.broker = broker
+        #: optional callable returning the daemon's health row, merged
+        #: into ``/platform/health`` so the serving surface reports on
+        #: the process that feeds it
+        self.daemon_status = daemon_status
+        #: wall-clock start, for display only -- uptime math must not
+        #: use it (NTP steps would make uptime jump or go negative)
+        self.started_at_unix = time.time()
+        self._started_monotonic = time.monotonic()
         self._latency = {
             route: self.telemetry.timing("server.%s" % route, "latency")
             for route in self.ROUTES
@@ -126,11 +158,17 @@ class ObservatoryApp:
                                     deltas=("connections", "rejected"))
 
     def _telemetry_row(self, now):
-        row = {"uptime_s": round(time.time() - self.started_at, 1)}
+        row = {
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 1),
+            "started_at_unix": round(self.started_at_unix, 1),
+        }
         if self.server is not None:
             row["active_connections"] = self.server.active_connections
             row["connections"] = self.server.connections_total
             row["rejected"] = self.server.rejected_total
+        if self.broker is not None:
+            row["subscribers"] = self.broker.subscribers
         return row
 
     # ------------------------------------------------------------------
@@ -141,6 +179,9 @@ class ObservatoryApp:
         started = time.perf_counter()
         try:
             response = handler(request, *args)
+            if asyncio.iscoroutine(response):
+                # follow long-polls and SSE setup run on the loop
+                response = await response
         except HttpError as exc:
             if exc.status >= 500:
                 self._errors.inc()
@@ -160,6 +201,8 @@ class ObservatoryApp:
             return "topk", self.handle_topk, (parts[1],)
         if len(parts) == 3 and parts[0] == "key":
             return "key", self.handle_key, (parts[1], parts[2])
+        if len(parts) == 2 and parts[0] == "stream":
+            return "stream", self.handle_stream, (parts[1],)
         if parts == ["platform", "health"]:
             return "platform", self.handle_health, ()
         raise HttpError(404, "no such endpoint: %s" % path)
@@ -355,27 +398,46 @@ class ObservatoryApp:
         }
         return Response.json(payload)
 
+    @staticmethod
+    def _page(refs, cursor, limit):
+        """Exclusive-cursor paging over ``start_ts``-sorted *refs*.
+
+        The page holds the first *limit* windows whose ``start_ts``
+        is strictly greater than *cursor* (``None`` pages from the
+        beginning); ``next_cursor`` is the last returned window's
+        ``start_ts``, or ``None`` when the page exhausts the
+        selection.  The cursor is derived only from rows the client
+        already holds, so a window flushing (or backfilling) between
+        pages shifts *where the next page begins searching*, never
+        which windows are skipped or repeated.
+        """
+        lo = 0
+        if cursor is not None:
+            hi = len(refs)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if refs[mid].start_ts <= cursor:
+                    lo = mid + 1
+                else:
+                    hi = mid
+        page = refs[lo:lo + limit]
+        next_cursor = page[-1].start_ts if lo + limit < len(refs) \
+            else None
+        return page, next_cursor
+
     def handle_series(self, request, dataset):
         granularity = self._granularity(request)
         start, end = self._range(request)
         limit = self._int_param(request, "limit", MAX_WINDOWS, 1,
                                 MAX_WINDOWS)
+        if "follow" in request.params:
+            return self._follow_series(request, dataset, granularity,
+                                       start, end, limit)
         cursor = self._float_param(request, "cursor")
         refs = self._select_known(dataset, granularity, start, end)
         next_cursor = None
         if cursor is not None:
-            # paging mode: oldest-first from the cursor (inclusive);
-            # refs are sorted by start_ts, so bisect to the cursor
-            lo, hi = 0, len(refs)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if refs[mid].start_ts < cursor:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            if lo + limit < len(refs):
-                next_cursor = refs[lo + limit].start_ts
-            refs = refs[lo:lo + limit]
+            refs, next_cursor = self._page(refs, cursor, limit)
         else:
             refs = refs[-limit:]  # newest windows win under a limit
         etag = self._etag(refs, dataset, granularity, request.raw_query)
@@ -393,6 +455,147 @@ class ObservatoryApp:
         return self._fragment_response("series", request, etag,
                                        fragments,
                                        self._should_stream(refs))
+
+    async def _follow_series(self, request, dataset, granularity,
+                             start, end, limit):
+        """Long-poll: block until a window past the cursor exists.
+
+        ``follow=<cursor>`` is the exclusive resume point (feed the
+        previous answer's ``next_cursor`` back); an empty ``follow=``
+        tails from "now", skipping windows already on disk.  The
+        answer matches a paged ``/series`` body plus ``timed_out`` /
+        ``eof`` flags, and ``next_cursor`` is always a valid next
+        ``follow=`` value -- on an empty answer it echoes the request
+        cursor.  Unknown datasets do not 404 here: at daemon start
+        the first window has not flushed yet, and a dashboard must
+        be allowed to subscribe before it exists.  With a flush
+        broker wired the wait is push-based; otherwise (plain
+        ``serve --follow``) the store is re-polled every
+        :data:`FOLLOW_POLL_SECONDS`.
+        """
+        raw = request.params.get("follow", "")
+        if raw == "":
+            refs = self.store.select(dataset, granularity, start, end)
+            cursor = refs[-1].start_ts if refs else None
+        else:
+            try:
+                cursor = float(raw)
+            except ValueError:
+                raise HttpError(400, "parameter 'follow' must be a "
+                                "number or empty, got %r" % raw)
+        timeout = self._float_param(request, "timeout")
+        if timeout is None:
+            timeout = FOLLOW_TIMEOUT_DEFAULT
+        timeout = max(0.0, min(timeout, FOLLOW_TIMEOUT_MAX))
+        deadline = time.monotonic() + timeout
+        broker = self.broker
+
+        async def poll():
+            while True:
+                refs = self.store.select(dataset, granularity, start,
+                                         end)
+                page, _ = self._page(refs, cursor, limit)
+                if page:
+                    return page, False
+                closed = broker is not None and broker.closed
+                remaining = deadline - time.monotonic()
+                if closed or remaining <= 0:
+                    return [], closed
+                if broker is not None:
+                    await broker.wait(remaining)
+                else:
+                    await asyncio.sleep(min(FOLLOW_POLL_SECONDS,
+                                            remaining))
+
+        if broker is not None:
+            with broker.subscribe():
+                page, eof = await poll()
+        else:
+            page, eof = await poll()
+        payload = {
+            "dataset": dataset,
+            "granularity": granularity,
+            "next_cursor": page[-1].start_ts if page else cursor,
+            "window_count": len(page),
+            "windows": list(self._window_entries(page)),
+            "timed_out": not page and not eof,
+            "eof": eof,
+        }
+        return Response.json(payload,
+                             headers={"Cache-Control": "no-store"})
+
+    def handle_stream(self, request, dataset):
+        """SSE: push each new window the moment it flushes.
+
+        ``cursor=`` (or a ``Last-Event-ID`` header on reconnect)
+        resumes exclusively, exactly like ``follow=``; absent, the
+        stream tails from "now".  Every window goes out as an
+        ``event: window`` with ``id: <start_ts>``, so a dropped
+        ``EventSource`` resumes losslessly; idle stretches carry
+        comment heartbeats (dead clients are detected within one
+        :data:`SSE_HEARTBEAT_SECONDS` when the write fails), and a
+        broker close emits a final ``event: eof`` so SIGTERM drains
+        subscribers instead of severing them.
+        """
+        granularity = self._granularity(request)
+        cursor = self._float_param(request, "cursor")
+        if cursor is None:
+            last_id = request.headers.get("last-event-id")
+            if last_id:
+                try:
+                    cursor = float(last_id)
+                except ValueError:
+                    raise HttpError(400, "malformed Last-Event-ID %r"
+                                    % last_id)
+        if cursor is None:
+            refs = self.store.select(dataset, granularity, None, None)
+            cursor = refs[-1].start_ts if refs else None
+        broker = self.broker
+        streamed = self._streamed["stream"]
+
+        async def events(cursor):
+            def frame(text):
+                streamed.inc(len(text))
+                return text
+
+            subscription = broker.subscribe() \
+                if broker is not None else None
+            if subscription is not None:
+                subscription.__enter__()
+            try:
+                # reconnect backoff hint for EventSource clients
+                yield frame("retry: 2000\n\n")
+                last_emit = time.monotonic()
+                while True:
+                    refs = self.store.select(dataset, granularity,
+                                             None, None)
+                    page, _ = self._page(refs, cursor, MAX_WINDOWS)
+                    for entry in self._window_entries(page):
+                        cursor = entry["start_ts"]
+                        body = json.dumps(entry, separators=(",", ":"),
+                                          sort_keys=True)
+                        yield frame(
+                            "id: %s\nevent: window\ndata: %s\n\n"
+                            % (json.dumps(cursor), body))
+                        last_emit = time.monotonic()
+                    if broker is not None and broker.closed:
+                        yield frame("event: eof\ndata: {}\n\n")
+                        return
+                    if broker is not None:
+                        await broker.wait(SSE_HEARTBEAT_SECONDS)
+                    else:
+                        await asyncio.sleep(FOLLOW_POLL_SECONDS)
+                    if time.monotonic() - last_emit >= \
+                            SSE_HEARTBEAT_SECONDS:
+                        yield frame(": heartbeat\n\n")
+                        last_emit = time.monotonic()
+            finally:
+                if subscription is not None:
+                    subscription.__exit__(None, None, None)
+
+        return StreamingResponse(
+            events(cursor), content_type="text/event-stream",
+            headers={"Cache-Control": "no-store"}, flush_each=True)
 
     def handle_topk(self, request, dataset):
         granularity = self._granularity(request)
@@ -462,4 +665,8 @@ class ObservatoryApp:
             "store": self.store.cache_info(),
             "server": self._telemetry_row(None),
         })
+        if self.broker is not None:
+            payload["broker"] = self.broker.telemetry_row()
+        if self.daemon_status is not None:
+            payload["daemon"] = self.daemon_status()
         return Response.json(payload)

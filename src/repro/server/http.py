@@ -184,19 +184,33 @@ class StreamingResponse:
     *before* construction: the app computes the strong ETag from the
     file revisions it is about to stream and answers 304 without ever
     creating the iterator.
+
+    *chunks* may also be an **async** iterator -- the live-push shape
+    (Server-Sent Events tailing a flush broker), where the next
+    fragment is not data already on disk but an awaited future.  Pair
+    it with ``flush_each=True`` so every fragment goes out as its own
+    chunk frame immediately: a subscriber must see an event when it
+    fires, not when 16 KiB of events have accumulated.  ``flush_each``
+    also disables gzip (a compressor would buffer the event past its
+    delivery deadline).
     """
 
-    __slots__ = ("status", "chunks", "headers", "content_type")
+    __slots__ = ("status", "chunks", "headers", "content_type",
+                 "flush_each")
 
     def __init__(self, chunks, status=200, headers=None,
-                 content_type="application/json"):
+                 content_type="application/json", flush_each=False):
         self.status = status
         self.chunks = chunks
         self.headers = dict(headers or {})
         self.content_type = content_type
+        self.flush_each = flush_each
 
     def close(self):
-        """Release the fragment iterator (disconnect, error paths)."""
+        """Release a *sync* fragment iterator (disconnect, error
+        paths).  Async iterators are closed by
+        :func:`write_streaming_response`, which can await ``aclose``.
+        """
         close = getattr(self.chunks, "close", None)
         if close is not None:
             close()
@@ -221,9 +235,10 @@ async def write_streaming_response(writer, response, request=None,
     drop the connection (the framing is unfinished).
     """
     compressor = None
+    flush_each = response.flush_each
     headers = dict(response.headers)
     if request is not None and request.wants_gzip() and \
-            response.status == 200:
+            response.status == 200 and not flush_each:
         compressor = zlib.compressobj(6, zlib.DEFLATED,
                                       16 + zlib.MAX_WBITS)
         headers["Content-Encoding"] = "gzip"
@@ -236,18 +251,27 @@ async def write_streaming_response(writer, response, request=None,
     for name, value in headers.items():
         lines.append("%s: %s" % (name, value))
     writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+    chunks = response.chunks
+    pending = bytearray()
+
+    async def emit(fragment):
+        if isinstance(fragment, str):
+            fragment = fragment.encode("utf-8")
+        if compressor is not None:
+            fragment = compressor.compress(fragment)
+        pending.extend(fragment)
+        if pending and (flush_each or len(pending) >= CHUNK_TARGET_BYTES):
+            writer.write(_chunk_frame(bytes(pending)))
+            pending.clear()
+            await writer.drain()
+
     try:
-        pending = bytearray()
-        for fragment in response.chunks:
-            if isinstance(fragment, str):
-                fragment = fragment.encode("utf-8")
-            if compressor is not None:
-                fragment = compressor.compress(fragment)
-            pending += fragment
-            if len(pending) >= CHUNK_TARGET_BYTES:
-                writer.write(_chunk_frame(bytes(pending)))
-                pending.clear()
-                await writer.drain()
+        if hasattr(chunks, "__aiter__"):
+            async for fragment in chunks:
+                await emit(fragment)
+        else:
+            for fragment in chunks:
+                await emit(fragment)
         if compressor is not None:
             pending += compressor.flush()
         if pending:
@@ -261,7 +285,14 @@ async def write_streaming_response(writer, response, request=None,
         # upstream generators (the store read path) unwind cleanly
         return False
     finally:
-        response.close()
+        aclose = getattr(chunks, "aclose", None)
+        if aclose is not None:
+            try:
+                await aclose()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+        else:
+            response.close()
 
 
 class ObservatoryServer:
@@ -340,17 +371,39 @@ class ObservatoryServer:
                 await asyncio.gather(*pending, return_exceptions=True)
 
     async def serve_forever(self, install_signals=True):
-        """Run until SIGTERM/SIGINT (or :meth:`begin_shutdown`)."""
+        """Run until SIGTERM/SIGINT (or :meth:`begin_shutdown`).
+
+        With *install_signals* the SIGTERM/SIGINT dispositions that
+        were in place before are saved and restored on exit: an
+        embedding process (the ``run`` daemon, a test harness) that
+        installed its own handlers must get them back, not find them
+        silently clobbered by a server that has already shut down.
+        An embedder that owns signal dispatch itself passes
+        ``install_signals=False``.
+        """
         if self._server is None:
             await self.start()
+        saved = []
         if install_signals:
             loop = asyncio.get_running_loop()
             for sig in (signal.SIGTERM, signal.SIGINT):
                 try:
+                    previous = signal.getsignal(sig)
                     loop.add_signal_handler(sig, self.begin_shutdown)
                 except (NotImplementedError, RuntimeError):
-                    pass  # non-POSIX event loop
-        await self.wait_closed()
+                    continue  # non-POSIX event loop
+                saved.append((loop, sig, previous))
+        try:
+            await self.wait_closed()
+        finally:
+            for loop, sig, previous in saved:
+                try:
+                    loop.remove_signal_handler(sig)
+                    if previous is not None:
+                        signal.signal(sig, previous)
+                except (NotImplementedError, RuntimeError, OSError,
+                        ValueError):  # pragma: no cover - teardown race
+                    pass
 
     # ------------------------------------------------------------------
 
@@ -417,7 +470,11 @@ class ObservatoryServer:
                 else:
                     writer.write(render_response(response, request, close))
                     await writer.drain()
-                if close:
+                # Re-check after the response: shutdown may have begun
+                # while a long-poll or stream was in flight, and a
+                # drained connection must not park in the keep-alive
+                # read for another idle timeout.
+                if close or self._closing.is_set():
                     return
         except (ConnectionError, OSError):
             pass

@@ -262,6 +262,96 @@ class TestQueries:
         assert second["d"]["hits"] == 5
 
 
+class TestNotifyFlush:
+    """The daemon's O(1) reconcile: one stat, no directory scan."""
+
+    def test_new_window_visible_without_refresh(self, tmp_path):
+        make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))  # no follow re-scans
+        path = make_window(tmp_path, 60)
+        assert [r.start_ts for r in store.select("srvip")] == [0]
+        ref = store.notify_flush(path)
+        assert ref is not None and ref.start_ts == 60
+        assert [r.start_ts for r in store.select("srvip")] == [0, 60]
+        assert store.parses == 0  # reconcile is stat-only
+
+    def test_notify_reconciles_only_the_named_file(self, tmp_path):
+        store = SeriesStore(str(tmp_path))
+        first = make_window(tmp_path, 0)
+        make_window(tmp_path, 60)  # flushed but never notified
+        store.notify_flush(first)
+        assert [r.start_ts for r in store.select("srvip")] == [0]
+
+    def test_notify_same_revision_returns_existing_ref(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        before = store.select("srvip")[0]
+        assert store.notify_flush(path) is before
+
+    def test_notify_rewrite_invalidates_cached_parse(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        assert store.read("srvip")[0].rows[0][1]["hits"] == 10
+        make_window(tmp_path, 0,
+                    rows=[("192.0.2.9", {"hits": 42, "ok": 1})])
+        store.notify_flush(path)
+        assert store.read("srvip")[0].rows[0][1]["hits"] == 42
+
+    def test_notify_missing_file_drops_the_ref(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        assert len(store.select("srvip")) == 1
+        os.remove(path)
+        assert store.notify_flush(path) is None
+        assert store.select("srvip") == []
+
+    def test_notify_non_series_path_ignored(self, tmp_path):
+        store = SeriesStore(str(tmp_path))
+        assert store.notify_flush(str(tmp_path / "junk.txt")) is None
+        assert len(store) == 0
+
+    def test_notifications_counted(self, tmp_path):
+        store = SeriesStore(str(tmp_path))
+        store.notify_flush(make_window(tmp_path, 0))
+        store.notify_flush(make_window(tmp_path, 60))
+        assert store.cache_info()["notifications"] == 2
+
+
+class TestInodeIdentity:
+    def test_same_size_same_mtime_rewrite_detected(self, tmp_path):
+        """A same-size rewrite under coarse mtime granularity: only
+        the inode distinguishes the revisions (write_tsv's os.replace
+        always lands a fresh inode)."""
+        path = make_window(tmp_path, 0)
+        st = os.stat(path)
+        store = SeriesStore(str(tmp_path))
+        before = store.select("srvip")[0].etag_token()
+        assert store.read("srvip")[0].rows[0][1]["hits"] == 10
+        # same formatted width -> same byte size; mtime pinned equal
+        make_window(tmp_path, 0, rows=[
+            ("192.0.2.1", {"hits": 99, "ok": 9}),
+            ("192.0.2.2", {"hits": 5, "ok": 5}),
+        ])
+        os.utime(path, ns=(st.st_mtime_ns, st.st_mtime_ns))
+        assert os.stat(path).st_size == st.st_size
+        assert os.stat(path).st_mtime_ns == st.st_mtime_ns
+        store.refresh()
+        assert store.read("srvip")[0].rows[0][1]["hits"] == 99
+        assert store.select("srvip")[0].etag_token() != before
+
+    def test_manifest_v2_roundtrips_inode(self, tmp_path):
+        path = make_window(tmp_path, 0)
+        store = SeriesStore(str(tmp_path))
+        store.flush_manifest()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["version"] == 2
+        name = os.path.basename(path)
+        assert manifest["windows"][name]["ino"] == os.stat(path).st_ino
+        reopened = SeriesStore(str(tmp_path))
+        assert reopened.select("srvip")[0].ino == os.stat(path).st_ino
+        assert reopened.parses == 0
+
+
 def test_telemetry_registration(tmp_path):
     from repro.observatory.telemetry import Telemetry
 

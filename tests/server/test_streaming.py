@@ -278,7 +278,7 @@ class TestCursorPaging:
             full = (await http_get(server.port,
                                    "/series/srvip")).json()
             pages = []
-            cursor = 0
+            cursor = -1  # exclusive: strictly below the first window
             while cursor is not None:
                 page = (await http_get(
                     server.port,
@@ -294,9 +294,61 @@ class TestCursorPaging:
         # oldest-first pages concatenate to exactly the full answer
         assert walked == full["windows"]
         assert pages[-1]["next_cursor"] is None
-        # a mid-stream cursor resumes exactly where the page ended
-        resume = pages[1]["windows"][0]["start_ts"]
-        assert pages[0]["next_cursor"] == resume
+        # the cursor is exclusive-of-returned-rows: it names the last
+        # window the client already holds, never one it has not seen
+        assert pages[0]["next_cursor"] == \
+            pages[0]["windows"][-1]["start_ts"]
+
+    def test_cursor_equal_to_a_window_excludes_it(self, series_dir):
+        async def scenario(server, app):
+            full = (await http_get(server.port,
+                                   "/series/srvip")).json()
+            first_ts = full["windows"][0]["start_ts"]
+            after = (await http_get(
+                server.port,
+                "/series/srvip?cursor=%s" % first_ts)).json()
+            return full, after
+
+        full, after = run_with_server(series_dir, scenario)
+        # resuming with a held window's start_ts must not re-send it
+        assert [w["start_ts"] for w in after["windows"]] == \
+            [w["start_ts"] for w in full["windows"][1:]]
+
+    def test_flush_between_pages_skips_and_duplicates_nothing(
+            self, tmp_path):
+        """Regression: a window flushing mid-pagination must not
+        shift the page walk -- every window is delivered exactly once
+        and the late flush is picked up by the cursor chain."""
+        def ingest(ts_range):
+            obs = Observatory(datasets=[("srvip", 64)],
+                              output_dir=str(tmp_path),
+                              use_bloom_gate=False,
+                              skip_recent_inserts=False)
+            for i in ts_range:
+                obs.ingest(make_txn(ts=float(i),
+                                    server_ip="192.0.2.%d" % (1 + i % 5)))
+            obs.finish()
+
+        ingest(range(0, 240))  # windows at 0, 60, 120, 180
+
+        async def scenario(server, app):
+            pages = []
+            cursor = -1
+            while cursor is not None:
+                page = (await http_get(
+                    server.port,
+                    "/series/srvip?limit=2&cursor=%s" % cursor)).json()
+                pages.append(page)
+                if len(pages) == 1:
+                    # a new window flushes between page 1 and page 2
+                    ingest(range(240, 300))  # window at 240
+                cursor = page["next_cursor"]
+            return pages
+
+        pages = run_with_server(tmp_path, scenario, follow=True)
+        walked = [w["start_ts"] for p in pages for w in p["windows"]]
+        assert walked == [0, 60, 120, 180, 240]
+        assert len(walked) == len(set(walked)), "duplicated a window"
 
     def test_cursor_past_the_end_is_empty_not_error(self, series_dir):
         async def scenario(server, app):

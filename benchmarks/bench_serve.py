@@ -18,7 +18,11 @@ output directory per question.  This bench quantifies that:
 * **streamed memory** -- peak tracemalloc-tracked bytes while a
   chunked ``/series`` response streams, for a 1-day vs a 30-day
   hourly span: streaming must make the peak a constant (LRU-bound),
-  not a function of span length.
+  not a function of span length;
+* **columnar segments** -- cold ``accumulate``/``topk`` over a
+  10k-window directory with binary sidecar segments vs re-parsing
+  the TSV text, with the answers required to be identical: the
+  storage-engine-v2 gate.
 
 Two entry points:
 
@@ -27,8 +31,10 @@ Two entry points:
 * ``python benchmarks/bench_serve.py --check`` exits nonzero unless
   warm ``/topk`` and ``/series`` beat the cold baseline by
   :data:`SPEEDUP_BOUND`, bisected range lookup beats the linear scan
-  by :data:`BISECT_BOUND`, and the 30-day streamed peak stays within
-  :data:`MEMORY_FLAT_BOUND` of the 1-day one -- the CI
+  by :data:`BISECT_BOUND`, the 30-day streamed peak stays within
+  :data:`MEMORY_FLAT_BOUND` of the 1-day one, and cold segment-backed
+  ``accumulate``/``topk`` beats cold TSV re-parse by
+  :data:`SEGMENT_BOUND` with identical answers -- the CI
   non-regression gates.
 """
 
@@ -67,6 +73,21 @@ MEMORY_FLAT_BOUND = 2.0
 
 #: windows in the range-lookup index (a month of minutely windows)
 INDEX_WINDOWS = 50000
+
+#: cold segment-backed accumulate/topk must beat cold TSV re-parse by
+#: this over the :data:`SEGMENT_WINDOWS` directory
+SEGMENT_BOUND = 5.0
+
+#: windows in the segment-vs-TSV fixture (a week of minutely windows)
+SEGMENT_WINDOWS = 10000
+
+SEGMENT_DATASET = "segd"
+SEGMENT_KEYS = 40
+
+#: int counters + genuinely-float gauges, as real windows hold them
+SEGMENT_COLUMNS = ["hits", "ok", "nxd", "unans", "delay_q25",
+                   "delay_q50", "delay_q75", "size_q50",
+                   "ttl_top1_share"]
 
 DATASET = "srvip"
 WINDOWS = 48
@@ -308,6 +329,105 @@ def measure_stream_memory(directory):
     return day, month
 
 
+# -- columnar segments vs TSV re-parse ----------------------------------
+
+def build_segment_fixture(directory, windows=SEGMENT_WINDOWS,
+                          keys=SEGMENT_KEYS):
+    """*windows* minutely files with sidecar segments built.
+
+    The gauge columns are genuine non-integral floats -- what real
+    windows hold, and the cells where the text parse is slowest
+    (:func:`~repro.observatory.tsv._parse` pays a raised ``ValueError``
+    per float).  Rows are emitted in stable key order -- the clustered
+    layout a compacted store converges to -- so the segment
+    accumulate's same-key-tuple run batching engages, exactly as it
+    would over a steady top-k population.
+    """
+    from repro.observatory.aggregate import TimeAggregator
+
+    for w in range(windows):
+        rows = []
+        for k in range(keys):
+            hits = (k * 37 + w * 11) % 997 + 1
+            rows.append(("198.51.%d.%d" % (k // 250, k % 250), {
+                "hits": hits,
+                "ok": hits - k % 7,
+                "nxd": k % 9,
+                "unans": (k + w) % 5,
+                "delay_q25": round(4.03 + ((k * 5 + w) % 60) / 8.0, 4),
+                "delay_q50": round(10.03 + ((k * 3 + w) % 40) / 4.0, 4),
+                "delay_q75": round(25.03 + ((k * 7 + w) % 80) / 2.0, 4),
+                "size_q50": round(80.03 + ((k + w * 3) % 300) / 3.0, 4),
+                "ttl_top1_share": round(((k * 11 + w) % 97 + 1) / 100.0,
+                                        4),
+            }))
+        write_tsv(directory, TimeSeriesData(
+            SEGMENT_DATASET, "minutely", w * 60,
+            columns=list(SEGMENT_COLUMNS), rows=rows,
+            stats={"seen": keys * 3, "kept": keys}))
+    TimeAggregator(directory).compact()
+    return directory
+
+
+def _snap_rows(rows):
+    """Comparable snapshot of an accumulate answer (values + window
+    counters), so 'identical' means identical, not just dict-equal."""
+    return {key: (row.windows, dict(row))
+            for key, row in rows.items()}
+
+
+def measure_segment_cold(directory, use_segments):
+    """One cold accumulate + one cold topk with fresh stores.
+
+    Returns ``(snapshot, top, seconds, store)`` -- the second store is
+    returned so the caller can check *how* the answer was computed
+    (segment scans vs text parses)."""
+    store = SeriesStore(directory, cache_windows=0, manifest=False,
+                        use_segments=use_segments)
+    started = time.perf_counter()
+    rows = store.accumulate(SEGMENT_DATASET)
+    elapsed = time.perf_counter() - started
+    store = SeriesStore(directory, cache_windows=0, manifest=False,
+                        use_segments=use_segments)
+    started = time.perf_counter()
+    top = store.topk(SEGMENT_DATASET, n=10)
+    elapsed += time.perf_counter() - started
+    return _snap_rows(rows), top, elapsed, store
+
+
+def check_segments(bound=SEGMENT_BOUND, windows=SEGMENT_WINDOWS,
+                   directory=None):
+    """Cold segment reads must beat cold TSV re-parse; (ok, report)."""
+    tmp = None
+    if directory is None:
+        tmp = tempfile.mkdtemp(prefix="bench-segments-")
+        directory = build_segment_fixture(tmp, windows=windows)
+    try:
+        tsv_rows, tsv_top, tsv_s, tsv_store = \
+            measure_segment_cold(directory, use_segments=False)
+        seg_rows, seg_top, seg_s, seg_store = \
+            measure_segment_cold(directory, use_segments=True)
+        identical = tsv_rows == seg_rows and tsv_top == seg_top
+        # the segment run must actually have scanned segments, and the
+        # TSV run must actually have parsed text
+        honest = (seg_store.segment_reads == windows
+                  and seg_store.parses == 0
+                  and tsv_store.parses == windows)
+        speedup = tsv_s / seg_s if seg_s else float("inf")
+        report = (
+            "segment bench (%d windows x %d keys x %d cols): cold TSV "
+            "accumulate+topk %.2f s, cold segment %.2f s -> %.1fx "
+            "(bound %.0fx), answers %s, %d segment reads / %d parses"
+            % (windows, SEGMENT_KEYS, len(SEGMENT_COLUMNS),
+               tsv_s, seg_s, speedup, bound,
+               "identical" if identical else "DIFFER",
+               seg_store.segment_reads, seg_store.parses))
+        return speedup >= bound and identical and honest, report
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
 # -- the CI gate --------------------------------------------------------
 
 def check_speedup(directory=None, bound=SPEEDUP_BOUND):
@@ -437,6 +557,17 @@ if pytest is not None:
         save_result("serve_stream_memory", report)
         assert ok, report
 
+    def test_segments_beat_tsv_reparse(tmp_path):
+        from benchmarks.conftest import save_result
+
+        # a smaller fixture than the --check gate keeps the suite
+        # quick; the speedup grows with window count, so halving the
+        # bound is safe headroom for shared runners
+        ok, report = check_segments(bound=SEGMENT_BOUND / 2,
+                                    windows=1500)
+        save_result("serve_segments", report)
+        assert ok, report
+
 
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
@@ -445,7 +576,8 @@ def main(argv=None):
               file=sys.stderr)
         return 2
     failures = 0
-    for gate in (check_speedup, check_bisect, check_stream_memory):
+    for gate in (check_speedup, check_bisect, check_stream_memory,
+                 check_segments):
         ok, report = gate()
         print(report)
         if not ok:

@@ -31,29 +31,46 @@ class AccumulatedRow(dict):
         self.windows = 0
 
 
-def accumulate_dumps(dumps):
-    """Fold per-window rows into per-key whole-run rows.
+class Accumulator:
+    """Incremental window folder behind :func:`accumulate_dumps`.
 
-    Parameters
-    ----------
-    dumps:
-        Iterable of objects with ``.rows`` (list of ``(key, row)``) --
-        WindowDumps or TimeSeriesData alike.
-
-    Returns ``{key: AccumulatedRow}`` where counters are summed and
-    gauges are hits-weighted means.
+    Windows are folded one at a time -- row-major
+    (:meth:`fold_rows`, a list of ``(key, row_dict)``) or column-major
+    (:meth:`fold_columns`, parallel value lists straight out of a
+    columnar segment, no per-row dicts ever built).  Both folds apply
+    the *same operations in the same order* per ``(key, column)``
+    cell, so mixing them across windows -- cached parses for some,
+    segment column scans for others -- produces bit-identical results
+    to one row-major pass (the store's differential tests hold it to
+    that).  Call :meth:`finish` exactly once to resolve mode columns
+    and take the ``{key: AccumulatedRow}`` result.
     """
-    totals = {}
-    weights = {}
-    modes = {}
-    for dump in dumps:
-        for key, row in dump.rows:
+
+    __slots__ = ("totals", "_weights", "_modes")
+
+    def __init__(self):
+        self.totals = {}
+        self._weights = {}
+        self._modes = {}
+
+    def _acc_for(self, key):
+        acc = self.totals.get(key)
+        if acc is None:
+            acc = AccumulatedRow()
+            self.totals[key] = acc
+            self._weights[key] = {}
+            self._modes[key] = {}
+        return acc
+
+    def fold_rows(self, rows):
+        """Fold one window's ``(key, row_dict)`` list."""
+        totals = self.totals
+        weights = self._weights
+        modes = self._modes
+        for key, row in rows:
             acc = totals.get(key)
             if acc is None:
-                acc = AccumulatedRow()
-                totals[key] = acc
-                weights[key] = {}
-                modes[key] = {}
+                acc = self._acc_for(key)
             acc.windows += 1
             hits = row.get("hits", 0) or 0
             for col, value in row.items():
@@ -73,10 +90,140 @@ def accumulate_dumps(dumps):
                     acc[col] = (acc.get(col, 0.0) * wsum + value * hits) / \
                         (wsum + hits) if (wsum + hits) else 0.0
                     weights[key][col] = wsum + hits
-    for key, per_col in modes.items():
-        for col, votes in per_col.items():
-            totals[key][col] = max(votes.items(), key=lambda kv: kv[1])[0]
-    return totals
+
+    def fold_columns(self, keys, columns, columns_values):
+        """Fold one window given as parallel columns (segment layout).
+
+        *keys* is the window's key list; *columns_values* holds one
+        value list per name in *columns*.  Per-column type dispatch is
+        decided once instead of once per cell, which is where the
+        columnar accumulate speed comes from.
+        """
+        accs = [self._acc_for(key) for key in keys]
+        for acc in accs:
+            acc.windows += 1
+        try:
+            raw_hits = columns_values[columns.index("hits")]
+        except ValueError:
+            raw_hits = (0,) * len(keys)
+        weights = self._weights
+        modes = self._modes
+        for col, values in zip(columns, columns_values):
+            if col in _COUNTERS:
+                for acc, value in zip(accs, values):
+                    acc[col] = acc.get(col, 0) + value
+            elif col in MAX_COLUMNS:
+                for acc, value in zip(accs, values):
+                    if value > acc.get(col, 0):
+                        acc[col] = value
+            elif col in MODE_COLUMNS:
+                for key, value, hv in zip(keys, values, raw_hits):
+                    if value:
+                        votes = modes[key].setdefault(col, {})
+                        votes[value] = votes.get(value, 0.0) + \
+                            max(hv or 0, 1)
+            else:
+                for key, acc, value, hv in zip(keys, accs, values,
+                                               raw_hits):
+                    hits = hv or 0
+                    wsum = weights[key].get(col, 0.0)
+                    acc[col] = (acc.get(col, 0.0) * wsum + value * hits) \
+                        / (wsum + hits) if (wsum + hits) else 0.0
+                    weights[key][col] = wsum + hits
+
+    def fold_columns_run(self, keys, columns, runs):
+        """Fold a *run* of consecutive windows sharing one key tuple.
+
+        *runs* is a list of ``columns_values`` (one per window, in
+        window order), every window holding exactly the ordered *keys*
+        and *columns*.  Stable key tuples are what a columnar engine
+        calls clustered data, and they let the per-window Python
+        overhead amortize across the run: counters collapse to one
+        C-level ``sum(vals, start)`` per ``(key, column)`` cell --
+        bit-identical to the sequential additions, since ``sum`` is
+        exactly that left fold -- and the gauge recurrence keeps its
+        state in locals instead of two dict round-trips per cell.
+        Per ``(key, column)`` cell the windows are still applied in
+        window order, so the result is bit-identical to folding each
+        window through :meth:`fold_columns`.
+        """
+        n = len(runs)
+        totals = self.totals
+        weights = self._weights
+        modes = self._modes
+        accs = []
+        wdicts = []
+        for key in keys:
+            acc = totals.get(key)
+            if acc is None:
+                acc = self._acc_for(key)
+            accs.append(acc)
+            wdicts.append(weights[key])
+            acc.windows += n
+        try:
+            hi = columns.index("hits")
+            hits_rows = list(zip(*[cv[hi] for cv in runs]))
+        except ValueError:
+            hits_rows = [(0,) * n] * len(keys)
+        for ci, col in enumerate(columns):
+            per_key = zip(*[cv[ci] for cv in runs])
+            if col in _COUNTERS:
+                for acc, vals in zip(accs, per_key):
+                    acc[col] = sum(vals, acc.get(col, 0))
+            elif col in MAX_COLUMNS:
+                for acc, vals in zip(accs, per_key):
+                    peak = max(vals)
+                    if peak > acc.get(col, 0):
+                        acc[col] = peak
+            elif col in MODE_COLUMNS:
+                for key, vals, hvs in zip(keys, per_key, hits_rows):
+                    votes = None
+                    for value, hv in zip(vals, hvs):
+                        if value:
+                            if votes is None:
+                                votes = modes[key].setdefault(col, {})
+                            votes[value] = votes.get(value, 0.0) + \
+                                max(hv or 0, 1)
+            else:
+                for acc, wd, vals, hvs in zip(accs, wdicts, per_key,
+                                              hits_rows):
+                    wsum = wd.get(col, 0.0)
+                    mean = acc.get(col, 0.0)
+                    for value, hv in zip(vals, hvs):
+                        hits = hv or 0
+                        total = wsum + hits
+                        mean = (mean * wsum + value * hits) / total \
+                            if total else 0.0
+                        wsum = total
+                    acc[col] = mean
+                    wd[col] = wsum
+
+    def finish(self):
+        """Resolve mode columns and return ``{key: AccumulatedRow}``."""
+        totals = self.totals
+        for key, per_col in self._modes.items():
+            for col, votes in per_col.items():
+                totals[key][col] = max(votes.items(),
+                                       key=lambda kv: kv[1])[0]
+        return totals
+
+
+def accumulate_dumps(dumps):
+    """Fold per-window rows into per-key whole-run rows.
+
+    Parameters
+    ----------
+    dumps:
+        Iterable of objects with ``.rows`` (list of ``(key, row)``) --
+        WindowDumps or TimeSeriesData alike.
+
+    Returns ``{key: AccumulatedRow}`` where counters are summed and
+    gauges are hits-weighted means.
+    """
+    acc = Accumulator()
+    for dump in dumps:
+        acc.fold_rows(dump.rows)
+    return acc.finish()
 
 
 def ranked_keys(rows, by="hits", descending=True):

@@ -13,6 +13,9 @@ Subcommands:
   a directory's ``_platform`` telemetry series;
 * ``aggregate`` -- roll minutely TSV files up the granularity chain
   and apply retention;
+* ``compact``  -- build binary columnar sidecar segments
+  (``<window>.tsv.seg``) for the TSV windows in a directory and drop
+  orphans, so cold queries scan columns instead of re-parsing text;
 * ``serve``    -- run the asyncio HTTP query API over an output
   directory (top-k, per-key series, platform-health alerting);
 * ``run``      -- live daemon: drive the simulator (or a transaction
@@ -111,6 +114,11 @@ def cmd_replay(args):
         if args.shards > 1 else ""))
     for name, ratio in sorted(obs.capture_ratios().items()):
         print("  %-8s capture %.1f%%" % (name, ratio * 100))
+    if args.segments:
+        from repro.observatory.aggregate import TimeAggregator
+
+        result = TimeAggregator(args.output_dir).compact()
+        print("  built %d columnar segment(s)" % len(result["built"]))
     return 0
 
 
@@ -201,7 +209,8 @@ def cmd_aggregate(args):
     from repro.observatory.store import SeriesStore
 
     store = SeriesStore(args.directory)
-    aggregator = TimeAggregator(args.directory, store=store)
+    aggregator = TimeAggregator(args.directory, store=store,
+                                segments=args.segments)
     datasets = sorted(store.datasets())
     written = []
     for dataset in datasets:
@@ -213,6 +222,19 @@ def cmd_aggregate(args):
                                              force=args.retention_force)
         print("retention deleted %d file(s)" % len(deleted))
     store.flush_manifest()
+    return 0
+
+
+def cmd_compact(args):
+    from repro.observatory.aggregate import TimeAggregator
+
+    aggregator = TimeAggregator(args.directory)
+    result = aggregator.compact(dataset=args.dataset,
+                                granularity=args.granularity)
+    print("compacted %s: built %d segment(s), %d already fresh, "
+          "removed %d orphan(s)"
+          % (args.directory, len(result["built"]), result["fresh"],
+             len(result["removed"])))
     return 0
 
 
@@ -281,6 +303,7 @@ def cmd_run(args):
         max_connections=args.max_connections,
         stream_threshold=args.stream_threshold,
         rules=None if args.rules is None else _load_rules(args.rules),
+        segments=args.segments,
         exit_when_done=args.exit_when_done, ready_callback=ready)
     return daemon.run()
 
@@ -325,6 +348,11 @@ def build_parser():
                         "TSV row per component per window (sketch "
                         "saturation, gate churn, flush latency, shard "
                         "queue depth)")
+    p.add_argument("--segments", action="store_true",
+                   help="after the replay, build a columnar sidecar "
+                        "segment next to every TSV window written, so "
+                        "cold queries scan binary columns instead of "
+                        "re-parsing text")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="simulate and print the Big Picture")
@@ -349,7 +377,21 @@ def build_parser():
                    help="delete expired files even when no coarser "
                         "file covers them yet (default: only delete "
                         "rolled-up data)")
+    p.add_argument("--segments", action="store_true",
+                   help="write a columnar sidecar segment next to "
+                        "every coarse window this pass writes")
     p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("compact",
+                       help="build columnar sidecar segments for a "
+                            "TSV directory")
+    p.add_argument("directory", help="replay/aggregate output directory")
+    p.add_argument("--dataset", default=None,
+                   help="only compact this dataset")
+    p.add_argument("--granularity", default=None,
+                   help="only compact this granularity "
+                        "(minutely, decaminutely, hourly, ...)")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("serve", help="HTTP query API over TSV series")
     p.add_argument("directory", help="replay/aggregate output directory")
@@ -424,6 +466,10 @@ def build_parser():
     p.add_argument("--rules", metavar="FILE", default=None,
                    help="alert-rule file for /platform/health (daemon "
                         "heartbeat rules are appended either way)")
+    p.add_argument("--segments", action="store_true",
+                   help="build a columnar sidecar segment for every "
+                        "flushed window, so windows evicted from the "
+                        "LRU cold-read as binary column scans")
     p.set_defaults(func=cmd_run)
     return parser
 

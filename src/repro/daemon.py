@@ -50,6 +50,7 @@ import threading
 import time
 import traceback
 
+from repro.observatory import segments as segmentfmt
 from repro.observatory.alerts import DAEMON_RULES, DEFAULT_RULES
 from repro.observatory.pipeline import Observatory
 from repro.observatory.store import SeriesStore
@@ -119,6 +120,12 @@ class LiveDaemon:
     rules:
         Alert rules; :data:`~repro.observatory.alerts.DAEMON_RULES`
         are appended so ``/platform/health`` covers the daemon itself.
+    segments:
+        Build a columnar sidecar segment
+        (:mod:`~repro.observatory.segments`) for every flushed window
+        before it is reconciled into the store, so a window evicted
+        from the LRU is re-read as a binary column scan, never a text
+        re-parse.
     exit_when_done:
         Shut down (exit 0) when the source is exhausted instead of
         continuing to serve the accumulated windows.
@@ -132,8 +139,8 @@ class LiveDaemon:
                  transport="pickle", ring_bytes=None, pace=1.0,
                  host="127.0.0.1", port=8053, cache_windows=256,
                  max_connections=64, stream_threshold=None, rules=None,
-                 exit_when_done=False, ready_callback=None,
-                 batch_size=BATCH_SIZE,
+                 segments=False, exit_when_done=False,
+                 ready_callback=None, batch_size=BATCH_SIZE,
                  dispatch_interval=DISPATCH_INTERVAL):
         self._source = source
         self.output_dir = output_dir
@@ -151,6 +158,7 @@ class LiveDaemon:
         self.stream_threshold = stream_threshold
         base = DEFAULT_RULES if rules is None else rules
         self.rules = list(base) + list(DAEMON_RULES)
+        self.segments = bool(segments)
         self.exit_when_done = exit_when_done
         self.ready_callback = ready_callback
         self.batch_size = int(batch_size)
@@ -360,6 +368,14 @@ class LiveDaemon:
 
     def _on_flush(self, path):
         """Ingest-thread flush hook: reconcile one file, wake pushers."""
+        if self.segments:
+            # sidecar first, so the reconciled ref's cold read already
+            # finds a fresh segment; best effort -- a failed build just
+            # leaves the window on the text-parse path
+            try:
+                segmentfmt.build_segment(path)
+            except OSError:
+                logger.warning("segment build failed for %r", path)
         try:
             self.store.notify_flush(path)
         except Exception:  # pragma: no cover - defensive: keep ingest up

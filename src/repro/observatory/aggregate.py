@@ -12,12 +12,14 @@ data point."
 
 import os
 
+from repro.observatory import segments as segmentfmt
 from repro.observatory.features import COUNTER_COLUMNS
 from repro.observatory.tsv import (
     GRANULARITIES,
     GRANULARITY_CHAIN,
     TimeSeriesData,
     list_series,
+    parse_filename,
     read_tsv,
     write_tsv,
 )
@@ -119,7 +121,8 @@ class TimeAggregator:
         "yearly": None,  # keep forever
     }
 
-    def __init__(self, directory, retention=None, store=None):
+    def __init__(self, directory, retention=None, store=None,
+                 segments=False):
         self.directory = directory
         self.retention = dict(self.DEFAULT_RETENTION)
         if retention:
@@ -129,6 +132,11 @@ class TimeAggregator:
         #: LRU (hot when a server shares the store), and files written
         #: or deleted here are reconciled into its index immediately.
         self.store = store
+        #: write a columnar sidecar segment
+        #: (:mod:`~repro.observatory.segments`) next to every coarse
+        #: window this aggregator writes, so cold reads of rolled-up
+        #: history never pay a text re-parse
+        self.segments = bool(segments)
 
     def aggregate_directory(self, dataset):
         """Aggregate *dataset* up the whole granularity chain.
@@ -168,8 +176,16 @@ class TimeAggregator:
             data = aggregate_series(series, dataset, coarser, window_start,
                                     expected_points=points)
             written.append(write_tsv(self.directory, data))
-        if written and self.store is not None:
-            self.store.refresh()
+        for path in written:
+            if self.segments:
+                try:
+                    segmentfmt.build_segment(path)
+                except OSError:
+                    pass  # sidecar is an optimization, never a failure
+            if self.store is not None:
+                # O(1) per-file reconcile, not an O(windows) directory
+                # re-scan per aggregation step
+                self.store.notify_flush(path)
         return written
 
     def _read(self, path):
@@ -208,8 +224,74 @@ class TimeAggregator:
                 covering = (start // coarser_len) * coarser_len
                 if (dataset, coarser, covering) not in on_disk:
                     continue  # not rolled up yet: deleting would lose data
-            os.remove(path)
+            try:
+                os.remove(path)
+            except OSError:
+                # already gone -- a concurrent retention pass or an
+                # operator cleanup beat us to it.  The sweep must keep
+                # going (aborting mid-pass left every later expired
+                # file undeleted), and the index reconcile below still
+                # needs to drop the vanished entry.
+                pass
+            segmentfmt.remove_segment_for(path)
             deleted.append(path)
-        if deleted and self.store is not None:
-            self.store.refresh()
+            if self.store is not None:
+                # per-file reconcile: notify_flush on a vanished path
+                # drops its index entry without a full refresh() scan
+                self.store.notify_flush(path)
         return deleted
+
+    def compact(self, dataset=None, granularity=None):
+        """Build missing or stale sidecar segments; drop orphans.
+
+        The background compactor pass of storage engine v2: walks
+        every TSV window in the directory (optionally narrowed to
+        *dataset* / *granularity*), builds a columnar sidecar for each
+        window whose segment is absent or whose recorded source
+        identity no longer matches the file (the window was
+        rewritten), and removes orphan sidecars whose source TSV
+        vanished under retention.  Idempotent -- a second pass over an
+        unchanged directory builds nothing.
+
+        Returns ``{"built": [paths], "fresh": n, "removed": [paths]}``.
+        """
+        built = []
+        removed = []
+        fresh = 0
+        live = set()
+        for path, _ds, _gran, _start in list_series(
+                self.directory, dataset, granularity):
+            live.add(os.path.basename(path))
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue  # vanished mid-walk
+            reader = segmentfmt.open_if_fresh(
+                path, (st.st_mtime_ns, st.st_size, st.st_ino))
+            if reader is not None:
+                reader.close()
+                fresh += 1
+                continue
+            try:
+                built.append(segmentfmt.build_segment(path))
+            except OSError:
+                continue  # unreadable window: skip, never abort
+        for stem, name in sorted(
+                segmentfmt.scan_segments(self.directory).items()):
+            if stem in live:
+                continue
+            try:
+                sds, sgran, _ = parse_filename(stem)
+            except ValueError:
+                continue
+            if dataset is not None and sds != dataset:
+                continue
+            if granularity is not None and sgran != granularity:
+                continue
+            orphan = os.path.join(self.directory, name)
+            try:
+                os.remove(orphan)
+                removed.append(orphan)
+            except OSError:
+                pass
+        return {"built": built, "fresh": fresh, "removed": removed}

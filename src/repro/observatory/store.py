@@ -47,8 +47,10 @@ import heapq
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 
+from repro.observatory import segments as segmentfmt
 from repro.observatory.tsv import (
     GRANULARITIES,
     parse_filename,
@@ -64,6 +66,19 @@ MANIFEST_VERSION = 2
 
 #: distinct range-accumulations memoized per store (see ``accumulate``)
 ACCUMULATE_CACHE = 16
+
+#: max consecutive same-key-tuple segment windows folded as one
+#: clustered run in :meth:`SeriesStore.accumulate` -- bounds the
+#: buffered column values so a year-long range still accumulates in
+#: O(run) memory, not O(span)
+ACCUMULATE_RUN = 256
+
+#: minimum seconds between automatic manifest rewrites triggered by
+#: :meth:`SeriesStore.refresh`.  A follow-mode store re-scans before
+#: every query; without the debounce a live writer made every query
+#: rewrite the whole O(windows) manifest JSON.  ``flush_manifest``
+#: (shutdown) always persists regardless.
+MANIFEST_SAVE_INTERVAL = 5.0
 
 
 class WindowRef:
@@ -172,6 +187,20 @@ class _SeriesIndex:
         return len(self.refs)
 
 
+class _Flight:
+    """One in-progress cold read, shared by every thread that wants
+    the same path: the first arrival (the *leader*) parses; the rest
+    wait on :attr:`done` and take the shared result, so N concurrent
+    misses cost one parse instead of N."""
+
+    __slots__ = ("done", "data", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.data = None
+        self.error = None
+
+
 class SeriesStore:
     """Query layer over one output directory of TSV time series.
 
@@ -190,6 +219,12 @@ class SeriesStore:
         Persist the index to ``.observatory-manifest.json`` inside the
         directory (and load it on open).  Disable for read-only
         directories.
+    use_segments:
+        Prefer a fresh binary columnar sidecar
+        (:mod:`~repro.observatory.segments`) over re-parsing the TSV
+        on cold reads.  A sidecar whose recorded source identity does
+        not match the live TSV is ignored, so this never changes an
+        answer -- only how fast it is computed.
     telemetry:
         Optional :class:`~repro.observatory.telemetry.Telemetry`
         registry; the store registers a ``store`` component sampler
@@ -197,11 +232,12 @@ class SeriesStore:
     """
 
     def __init__(self, directory, cache_windows=256, follow=False,
-                 manifest=True, telemetry=None):
+                 manifest=True, use_segments=True, telemetry=None):
         self.directory = directory
         self.follow = bool(follow)
         self.cache_windows = int(cache_windows)
         self._use_manifest = bool(manifest)
+        self.use_segments = bool(use_segments)
         #: path -> WindowRef, the live index
         self._index = {}
         #: dataset -> granularity -> [WindowRef sorted by start_ts]
@@ -210,13 +246,25 @@ class SeriesStore:
         self._cache = OrderedDict()
         #: selection signature -> accumulated rows (see :meth:`accumulate`)
         self._accumulated = OrderedDict()
+        #: path -> _Flight: cold reads in progress (single-flight)
+        self._inflight = {}
         self._lock = threading.RLock()
         self._dirty = False
+        #: monotonic time of the last on-disk manifest write (None =
+        #: never written by this store)
+        self._manifest_saved_at = None
         #: cache statistics (exposed via telemetry + bench_serve)
         self.cache_hits = 0
         self.cache_misses = 0
         self.parses = 0
+        #: cold reads answered from a columnar segment (no text parse)
+        self.segment_reads = 0
         self.refreshes = 0
+        #: manifest files actually written to disk
+        self.manifest_saves = 0
+        #: cold reads that piggybacked on another thread's in-progress
+        #: parse of the same path instead of duplicating it
+        self.flight_waits = 0
         #: single-file reconciliations via :meth:`notify_flush`
         self.notifications = 0
         if self._use_manifest:
@@ -225,7 +273,8 @@ class SeriesStore:
         if telemetry is not None and getattr(telemetry, "enabled", False):
             telemetry.register("store", self.telemetry_row,
                                deltas=("hits", "misses", "parses",
-                                       "refreshes", "notifications"))
+                                       "segment_reads", "refreshes",
+                                       "notifications"))
 
     # -- index maintenance ---------------------------------------------
 
@@ -272,7 +321,7 @@ class SeriesStore:
                     self._drop_ref(path)
             if changed:
                 self._dirty = True
-                self._save_manifest()
+                self._maybe_save_manifest()
             return changed
 
     def notify_flush(self, path):
@@ -390,11 +439,30 @@ class SeriesStore:
                 json.dump(blob, fh, separators=(",", ":"))
             os.replace(tmp, self.manifest_path)
             self._dirty = False
+            self.manifest_saves += 1
+            self._manifest_saved_at = time.monotonic()
         except OSError:
             try:
                 os.remove(tmp)
             except OSError:
                 pass
+
+    def _maybe_save_manifest(self):
+        """Debounced manifest write for :meth:`refresh`.
+
+        A follow-mode store re-scans before every query; while a live
+        writer keeps appending windows, every scan finds changes.
+        Rewriting the whole O(windows) manifest JSON per query is pure
+        write amplification, so refresh-triggered saves are rate
+        limited to one per :data:`MANIFEST_SAVE_INTERVAL` seconds; the
+        index stays dirty in between and :meth:`flush_manifest`
+        (shutdown) always persists the final state.
+        """
+        if self._manifest_saved_at is not None and \
+                time.monotonic() - self._manifest_saved_at < \
+                MANIFEST_SAVE_INTERVAL:
+            return
+        self._save_manifest()
 
     def flush_manifest(self):
         """Write learned metadata (row counts, stats) back to disk."""
@@ -459,12 +527,15 @@ class SeriesStore:
         LRU.
 
         The incremental read path: a consumer (the chunked ``/series``
-        encoder, :meth:`accumulate`) holds one parsed window at a time
-        instead of the whole range, so memory stays O(LRU), not
-        O(span).  Each window is read atomically under the store lock
-        before it is yielded, so abandoning the generator mid-range --
-        an HTTP client disconnecting mid-stream -- leaves the LRU with
-        only complete entries.
+        encoder) holds one parsed window at a time instead of the
+        whole range, so memory stays O(LRU), not O(span).  Cold reads
+        run *outside* the store lock -- a slow parse must not block
+        unrelated queries -- with per-path single-flight, so N
+        concurrent consumers missing on the same window share one
+        parse instead of duplicating it.  Abandoning the generator
+        mid-range (an HTTP client disconnecting mid-stream) leaves the
+        LRU with only complete entries: a window is inserted only
+        after its read finished.
         """
         for ref in refs:
             yield self._read_ref(ref)
@@ -509,26 +580,72 @@ class SeriesStore:
         return self._read_ref(ref)
 
     def _read_ref(self, ref):
+        path = ref.path
         with self._lock:
-            data = self._cache.get(ref.path)
+            data = self._cache.get(path)
             if data is not None:
                 self.cache_hits += 1
-                self._cache.move_to_end(ref.path)
+                self._cache.move_to_end(path)
                 return data
-            self.cache_misses += 1
-        data = read_tsv(ref.path)
+            flight = self._inflight.get(path)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[path] = flight
+                leader = True
+                self.cache_misses += 1
+            else:
+                leader = False
+        if not leader:
+            # another thread is already reading this exact path: wait
+            # for its result instead of duplicating the parse
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.cache_hits += 1
+                self.flight_waits += 1
+            return flight.data
+        try:
+            data = self._segment_data(ref)
+            from_segment = data is not None
+            if data is None:
+                data = read_tsv(path)
+        except BaseException as exc:
+            with self._lock:
+                self._inflight.pop(path, None)
+            flight.error = exc
+            flight.done.set()
+            raise
         with self._lock:
-            self.parses += 1
+            if from_segment:
+                self.segment_reads += 1
+            else:
+                self.parses += 1
             if ref.rows != len(data.rows) or ref.stats != data.stats:
                 ref.rows = len(data.rows)
                 ref.stats = dict(data.stats)
                 self._dirty = True
             if self.cache_windows > 0:
-                self._cache[ref.path] = data
-                self._cache.move_to_end(ref.path)
+                self._cache[path] = data
+                self._cache.move_to_end(path)
                 while len(self._cache) > self.cache_windows:
                     self._cache.popitem(last=False)
+            self._inflight.pop(path, None)
+        flight.data = data
+        flight.done.set()
         return data
+
+    def _segment_data(self, ref):
+        """Cold-read fast path: materialize *ref* from a fresh sidecar
+        segment (no text parse), or ``None`` to fall back to TSV."""
+        if not self.use_segments:
+            return None
+        reader = segmentfmt.open_if_fresh(
+            ref.path, (ref.mtime_ns, ref.size, ref.ino))
+        if reader is None:
+            return None
+        with reader:
+            return reader.to_data()
 
     def accumulate(self, dataset, granularity="minutely",
                    start_ts=None, end_ts=None):
@@ -542,8 +659,20 @@ class SeriesStore:
         over unchanged windows is a dictionary lookup, not an
         O(windows x keys) re-merge.  Treat the returned mapping as
         read-only -- it is shared between callers.
+
+        Windows already in the LRU fold row-major from the parsed
+        cache; cold windows with a fresh sidecar segment fold
+        column-major straight off the mmap (no per-row dicts are ever
+        built), and consecutive segment windows carrying the identical
+        ordered key tuple -- recognized by comparing the raw encoded
+        key bytes, no string decode -- batch into one clustered run of
+        up to :data:`ACCUMULATE_RUN` windows so counters collapse to
+        C-level sums; everything else takes one bounded text parse.
+        All fold orders apply identical operations per ``(key,
+        column)`` cell (:class:`~repro.analysis.seriesops.Accumulator`),
+        so the mix is bit-identical to a pure row-major pass.
         """
-        from repro.analysis.seriesops import accumulate_dumps
+        from repro.analysis.seriesops import Accumulator
 
         refs = self.select(dataset, granularity, start_ts, end_ts)
         signature = (dataset, granularity,
@@ -553,9 +682,73 @@ class SeriesStore:
             if rows is not None:
                 self._accumulated.move_to_end(signature)
                 return rows
-        # stream one window at a time through the LRU: accumulating a
-        # year-long range must not hold every parsed window at once
-        rows = accumulate_dumps(self.iter_windows(refs))
+        # stream one window (or one bounded clustered run) at a time:
+        # accumulating a year-long range must not hold every parsed
+        # window at once
+        acc = Accumulator()
+        run_sig = None
+        run_keys = None
+        run_cols = None
+        run_vals = []
+        segment_reads = 0
+
+        def flush_run():
+            nonlocal run_sig, run_keys, run_cols, run_vals
+            if not run_vals:
+                return
+            if len(run_vals) == 1:
+                acc.fold_columns(run_keys, run_cols, run_vals[0])
+            else:
+                acc.fold_columns_run(run_keys, run_cols, run_vals)
+            run_sig = None
+            run_keys = None
+            run_cols = None
+            run_vals = []
+
+        for ref in refs:
+            with self._lock:
+                data = self._cache.get(ref.path)
+                if data is not None:
+                    self.cache_hits += 1
+                    self._cache.move_to_end(ref.path)
+            if data is not None:
+                flush_run()  # window order is the fold order
+                acc.fold_rows(data.rows)
+                continue
+            if self.use_segments:
+                reader = segmentfmt.open_if_fresh(
+                    ref.path, (ref.mtime_ns, ref.size, ref.ino))
+                if reader is not None:
+                    with reader:
+                        sig = reader.key_signature()
+                        cols = reader.columns
+                        if run_vals and (sig != run_sig
+                                         or cols != run_cols
+                                         or len(run_vals) >=
+                                         ACCUMULATE_RUN):
+                            flush_run()
+                        if not run_vals:
+                            run_sig = sig
+                            run_cols = cols
+                            run_keys = reader.keys()
+                        run_vals.append(reader.columns_values())
+                        n_rows = reader.n_rows
+                        stats = reader.stats
+                    segment_reads += 1
+                    if ref.rows != n_rows or ref.stats != stats:
+                        with self._lock:
+                            ref.rows = n_rows
+                            ref.stats = dict(stats)
+                            self._dirty = True
+                    continue
+            flush_run()
+            acc.fold_rows(self._read_ref(ref).rows)
+        flush_run()
+        if segment_reads:
+            with self._lock:
+                self.cache_misses += segment_reads
+                self.segment_reads += segment_reads
+        rows = acc.finish()
         with self._lock:
             self._accumulated[signature] = rows
             self._accumulated.move_to_end(signature)
@@ -611,6 +804,9 @@ class SeriesStore:
                 "capacity": self.cache_windows,
                 "indexed_windows": len(self._index),
                 "notifications": self.notifications,
+                "segment_reads": self.segment_reads,
+                "flight_waits": self.flight_waits,
+                "manifest_saves": self.manifest_saves,
             }
 
     def telemetry_row(self, now):
@@ -623,6 +819,7 @@ class SeriesStore:
             "cached_windows": info["cached_windows"],
             "indexed_windows": info["indexed_windows"],
             "parses": self.parses,
+            "segment_reads": self.segment_reads,
             "refreshes": self.refreshes,
             "notifications": self.notifications,
         }

@@ -1,0 +1,174 @@
+"""Equivalence tests for the clustered-run fold (fold_columns_run).
+
+The store batches consecutive segment windows sharing one ordered key
+tuple into a single :meth:`Accumulator.fold_columns_run` call.  The
+contract backing that batching is *bit*-identity: per ``(key, column)``
+cell the run fold applies the same operations in the same window order
+as the row-major fold, so every mix of folds over the same windows
+yields the exact same floats -- not approximately, exactly.
+"""
+
+import random
+
+from repro.analysis.seriesops import Accumulator
+
+COLUMNS = ["hits", "ok", "qdots_max", "ttl_top1", "delay_q50"]
+
+
+def random_windows(seed, n_windows, keys):
+    """Per-window parallel column lists over a fixed key tuple."""
+    rng = random.Random(seed)
+    windows = []
+    for _ in range(n_windows):
+        cols = []
+        for col in COLUMNS:
+            if col == "hits":
+                cols.append([rng.choice([0, 1, 3, 250]) for _ in keys])
+            elif col == "ok":
+                cols.append([rng.randrange(100) for _ in keys])
+            elif col == "qdots_max":
+                cols.append([rng.randrange(6) for _ in keys])
+            elif col == "ttl_top1":
+                cols.append([rng.choice([0, 60, 300, 86400])
+                             for _ in keys])
+            else:
+                cols.append([rng.uniform(0.0, 50.0) for _ in keys])
+        windows.append(cols)
+    return windows
+
+
+def rows_of(keys, cols):
+    return [(key, dict(zip(COLUMNS, values)))
+            for key, values in zip(keys, zip(*cols))]
+
+
+def finish(acc):
+    rows = acc.finish()
+    return {key: (row.windows, dict(row)) for key, row in rows.items()}
+
+
+def test_run_fold_matches_row_major_exactly():
+    keys = ["k%d" % i for i in range(7)]
+    windows = random_windows(1, 40, keys)
+    row_major = Accumulator()
+    for cols in windows:
+        row_major.fold_rows(rows_of(keys, cols))
+    run = Accumulator()
+    run.fold_columns_run(keys, COLUMNS, windows)
+    assert finish(run) == finish(row_major)
+
+
+def test_run_fold_matches_per_window_columnar_exactly():
+    keys = ["k%d" % i for i in range(5)]
+    windows = random_windows(2, 25, keys)
+    one_by_one = Accumulator()
+    for cols in windows:
+        one_by_one.fold_columns(keys, COLUMNS, cols)
+    run = Accumulator()
+    run.fold_columns_run(keys, COLUMNS, windows)
+    assert finish(run) == finish(one_by_one)
+
+
+def test_interleaved_folds_agree_with_pure_row_major():
+    """The store's real access pattern: cached windows fold row-major,
+    segment runs fold clustered, single stragglers fold columnar --
+    in window order.  The mix must equal one row-major pass."""
+    keys = ["k%d" % i for i in range(6)]
+    windows = random_windows(3, 30, keys)
+    pure = Accumulator()
+    for cols in windows:
+        pure.fold_rows(rows_of(keys, cols))
+    mixed = Accumulator()
+    rng = random.Random(99)
+    i = 0
+    while i < len(windows):
+        mode = rng.randrange(3)
+        if mode == 0:
+            mixed.fold_rows(rows_of(keys, windows[i]))
+            i += 1
+        elif mode == 1:
+            mixed.fold_columns(keys, COLUMNS, windows[i])
+            i += 1
+        else:
+            n = min(rng.randrange(1, 6), len(windows) - i)
+            mixed.fold_columns_run(keys, COLUMNS, windows[i:i + n])
+            i += n
+    assert finish(mixed) == finish(pure)
+
+
+def test_run_fold_mode_zero_values_do_not_vote():
+    keys = ["k"]
+    windows = [
+        [[1000], [0], [0], [0], [1.0]],   # ttl 0: NoData-only window
+        [[3], [0], [0], [900], [1.0]],
+    ]
+    acc = Accumulator()
+    acc.fold_columns_run(keys, COLUMNS, windows)
+    assert acc.finish()["k"]["ttl_top1"] == 900
+
+
+def test_run_fold_mode_zero_hits_votes_minimally():
+    keys = ["k"]
+    windows = [
+        [[0], [0], [0], [60], [0.0]],
+        [[0], [0], [0], [60], [0.0]],
+        [[0], [0], [0], [300], [0.0]],
+    ]
+    acc = Accumulator()
+    acc.fold_columns_run(keys, COLUMNS, windows)
+    assert acc.finish()["k"]["ttl_top1"] == 60
+
+
+def test_run_fold_max_keeps_first_peak_semantics():
+    keys = ["k"]
+    windows = [
+        [[1], [1], [2], [0], [0.0]],
+        [[1], [1], [5], [0], [0.0]],
+        [[1], [1], [5], [0], [0.0]],  # tie with the earlier peak
+        [[1], [1], [3], [0], [0.0]],
+    ]
+    acc = Accumulator()
+    acc.fold_columns_run(keys, COLUMNS, windows)
+    assert acc.finish()["k"]["qdots_max"] == 5
+
+
+def test_run_fold_gauge_zero_hits_windows():
+    """Windows with hits == 0 contribute no gauge weight; an all-zero
+    prefix leaves the running mean at 0.0, exactly like fold_rows."""
+    keys = ["k"]
+    windows = [
+        [[0], [0], [0], [0], [99.0]],
+        [[10], [0], [0], [0], [4.0]],
+        [[30], [0], [0], [0], [8.0]],
+    ]
+    run = Accumulator()
+    run.fold_columns_run(keys, COLUMNS, windows)
+    rows = Accumulator()
+    for cols in windows:
+        rows.fold_rows(rows_of(keys, cols))
+    assert finish(run) == finish(rows)
+
+
+def test_run_fold_missing_hits_column():
+    """A dataset without a hits column still folds (gauges weight 0)."""
+    cols = ["ok", "delay_q50"]
+    windows = [[[5], [10.0]], [[7], [20.0]]]
+    run = Accumulator()
+    run.fold_columns_run(["k"], cols, windows)
+    rows = Accumulator()
+    for w in windows:
+        rows.fold_rows([("k", dict(zip(cols, [w[0][0], w[1][0]])))])
+    assert finish(run) == finish(rows)
+
+
+def test_run_fold_accumulates_across_calls():
+    """A second run call continues existing per-key state (the store
+    flushes runs at ACCUMULATE_RUN windows and on interruptions)."""
+    keys = ["a", "b"]
+    windows = random_windows(4, 20, keys)
+    split = Accumulator()
+    split.fold_columns_run(keys, COLUMNS, windows[:9])
+    split.fold_columns_run(keys, COLUMNS, windows[9:])
+    whole = Accumulator()
+    whole.fold_columns_run(keys, COLUMNS, windows)
+    assert finish(split) == finish(whole)

@@ -192,3 +192,43 @@ def test_replay_sharded_matches_single(tmp_path, capsys, transport):
         sharded_rows = [l for l in (sharded_dir / name).read_text().splitlines()
                         if not l.startswith("#stats")]
         assert sharded_rows == single_rows, name
+
+
+def test_replay_segments_flag_builds_sidecars(tmp_path, capsys):
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "11", "--duration", "120", "--qps", "10",
+          "-o", str(stream)])
+    outdir = tmp_path / "tsv"
+    rc = main(["replay", str(stream), str(outdir), "--datasets", "srvip",
+               "--segments"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "columnar segment" in out
+    import os as _os
+
+    from repro.observatory.segments import scan_segments
+    from repro.observatory.tsv import list_series
+
+    tsvs = list_series(str(outdir), "srvip", "minutely")
+    found = scan_segments(str(outdir))
+    assert tsvs
+    assert all(_os.path.basename(p) in found for p, _, _, _ in tsvs)
+
+
+def test_compact_command_idempotent(tmp_path, capsys):
+    import os as _os
+
+    stream = tmp_path / "stream.tsv"
+    main(["simulate", "--seed", "12", "--duration", "120", "--qps", "10",
+          "-o", str(stream)])
+    outdir = tmp_path / "tsv"
+    main(["replay", str(stream), str(outdir), "--datasets", "srvip"])
+    rc = main(["compact", str(outdir)])
+    assert rc == 0
+    first = capsys.readouterr().out
+    assert "compacted" in first and "built" in first
+    assert any(n.endswith(".seg") for n in _os.listdir(str(outdir)))
+    rc = main(["compact", str(outdir)])
+    assert rc == 0
+    second = capsys.readouterr().out
+    assert "built 0 segment(s)" in second

@@ -159,3 +159,29 @@ class TestLiveDaemon:
             assert "Traceback" not in proc.stdout.read()
         finally:
             reap(proc)
+
+
+def test_run_segments_flag_writes_fresh_sidecars(tmp_path):
+    """``run --segments``: every flushed window gets a columnar
+    sidecar whose contents equal the text parse."""
+    from repro.observatory import segments as segmentfmt
+    from repro.observatory.tsv import read_tsv
+
+    series = tmp_path / "series"
+    proc, port = spawn_daemon(series, "--window", "1", "--pace", "3",
+                              "--duration", "60", "--qps", "100",
+                              "--datasets", "srvip", "--segments")
+    try:
+        doc = get_json(port, "/series/srvip?follow=&timeout=10")
+        assert doc["windows"]
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+        flushed = srvip_files(series)
+        assert flushed
+        for path in flushed:
+            seg = path + segmentfmt.SEGMENT_SUFFIX
+            assert os.path.exists(seg), "missing sidecar for %s" % path
+            assert segmentfmt.read_segment(seg).rows == \
+                read_tsv(path).rows
+    finally:
+        reap(proc)

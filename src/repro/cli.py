@@ -10,7 +10,9 @@ Subcommands:
 * ``report``   -- run a scenario end-to-end and print the Big Picture
   report (the paper's headline tables and figures); with
   ``--platform DIR`` instead render the platform-health summary from
-  a directory's ``_platform`` telemetry series;
+  a directory's ``_platform`` telemetry series; with ``--detect DIR
+  --labels FILE`` score a directory's ``_detector`` series against
+  simulator ground truth (precision / recall / time-to-detection);
 * ``aggregate`` -- roll minutely TSV files up the granularity chain
   and apply retention;
 * ``compact``  -- build binary columnar sidecar segments
@@ -47,6 +49,31 @@ def _add_scenario_args(parser):
                         help="simulated seconds (overrides preset)")
     parser.add_argument("--qps", type=float, default=None,
                         help="client queries/second (overrides preset)")
+    parser.add_argument("--attack", action="append", default=[],
+                        metavar="KIND:AT:QPS[:UNTIL]",
+                        help="add a labeled attack to the scenario: "
+                             "KIND is 'tunnel' or 'watertorture', AT "
+                             "the start second, QPS the attack rate, "
+                             "UNTIL an optional end second; the victim "
+                             "zone is picked deterministically "
+                             "(repeatable)")
+
+
+def _parse_attack(spec):
+    from repro.simulation.scenario import TunnelAttack, WaterTorture
+
+    kinds = {"tunnel": TunnelAttack, "watertorture": WaterTorture}
+    fields = spec.split(":")
+    if not 3 <= len(fields) <= 4 or fields[0] not in kinds:
+        raise SystemExit(
+            "error: --attack expects KIND:AT:QPS[:UNTIL] with KIND "
+            "tunnel|watertorture, got %r" % spec)
+    try:
+        at, qps = float(fields[1]), float(fields[2])
+        until = float(fields[3]) if len(fields) == 4 else None
+    except ValueError:
+        raise SystemExit("error: bad number in --attack %r" % spec)
+    return kinds[fields[0]](at=at, qps=qps, until=until)
 
 
 def _build_scenario(args):
@@ -55,12 +82,34 @@ def _build_scenario(args):
         overrides["duration"] = args.duration
     if args.qps is not None:
         overrides["client_qps"] = args.qps
+    if getattr(args, "attack", None):
+        overrides["scripted_events"] = [
+            _parse_attack(spec) for spec in args.attack]
     return _PRESETS[args.preset](**overrides)
+
+
+def _detector_spec(args):
+    """``--detectors`` argparse value -> pipeline spec: absent ->
+    ``None``, bare flag (empty list) -> ``True`` (all registered
+    detectors), names -> the list."""
+    names = getattr(args, "detectors_on", None)
+    if names is None:
+        return None
+    return True if names == [] else names
 
 
 def cmd_simulate(args):
     scenario = _build_scenario(args)
     channel = SieChannel(scenario)
+    if args.labels is not None:
+        import json
+
+        with open(args.labels, "w", encoding="utf-8") as fh:
+            json.dump(channel.attack_labels(), fh, indent=2)
+            fh.write("\n")
+        print("wrote %d attack label(s) to %s"
+              % (len(channel.workload.attacks), args.labels),
+              file=sys.stderr)
     out = open(args.output, "w") if args.output != "-" else sys.stdout
     count = 0
     try:
@@ -93,6 +142,7 @@ def cmd_replay(args):
             window_seconds=args.window,
             transport=args.transport,
             telemetry=args.telemetry,
+            detectors=_detector_spec(args),
             **extra,
         )
     else:
@@ -101,6 +151,7 @@ def cmd_replay(args):
             output_dir=args.output_dir,
             window_seconds=args.window,
             telemetry=args.telemetry,
+            detectors=_detector_spec(args),
         )
     with open(args.input) if args.input != "-" else sys.stdin as fh:
         obs.consume(
@@ -134,6 +185,8 @@ def _load_rules(path):
 def cmd_report(args):
     if args.platform:
         return _report_platform(args)
+    if args.detect:
+        return _report_detect(args)
     from repro.analysis import export as csv_export
     from repro.analysis.asattribution import render_table1, table1
     from repro.analysis.delays import (
@@ -202,6 +255,21 @@ def _report_platform(args):
     print(render_platform_health(series, verdicts, summary))
     # scripting contract: nonzero exit when an alert rule is tripping
     return 3 if summary["status"] == "fail" else 0
+
+
+def _report_detect(args):
+    from repro.analysis.detectquality import (
+        detect_quality, load_labels, meets_floors, render_detect_quality)
+    from repro.observatory.store import SeriesStore
+
+    if args.labels is None:
+        raise SystemExit("error: --detect requires --labels FILE "
+                         "(ground truth from 'simulate --labels')")
+    labels = load_labels(args.labels)
+    series, scores = detect_quality(SeriesStore(args.detect), labels)
+    print(render_detect_quality(series, scores))
+    # scripting contract: nonzero exit when a quality floor is missed
+    return 3 if not meets_floors(scores) else 0
 
 
 def cmd_aggregate(args):
@@ -298,6 +366,7 @@ def cmd_run(args):
         source, args.output_dir, datasets=args.datasets, k=args.k,
         window_seconds=args.window, shards=args.shards,
         transport=args.transport, ring_bytes=args.ring_bytes,
+        detectors=_detector_spec(args),
         pace=args.pace, host=args.host, port=args.port,
         cache_windows=args.cache_windows,
         max_connections=args.max_connections,
@@ -319,6 +388,9 @@ def build_parser():
     _add_scenario_args(p)
     p.add_argument("-o", "--output", default="-",
                    help="output file ('-' = stdout)")
+    p.add_argument("--labels", metavar="FILE", default=None,
+                   help="write attack ground-truth labels (JSON) for "
+                        "'report --detect'")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("replay", help="replay transactions into TSVs")
@@ -353,6 +425,11 @@ def build_parser():
                         "segment next to every TSV window written, so "
                         "cold queries scan binary columns instead of "
                         "re-parsing text")
+    p.add_argument("--detectors", dest="detectors_on", nargs="*",
+                   default=None, metavar="NAME",
+                   help="run streaming abuse detectors and write a "
+                        "_detector TSV per window (bare flag = all: "
+                        "exfil ddos noh)")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="simulate and print the Big Picture")
@@ -367,6 +444,14 @@ def build_parser():
     p.add_argument("--rules", metavar="FILE", default=None,
                    help="alert-rule file for --platform (default: "
                         "built-in capture/gate/liveness/latency rules)")
+    p.add_argument("--detect", metavar="DIR", default=None,
+                   help="instead of simulating, score DIR's _detector "
+                        "series against --labels ground truth "
+                        "(precision / recall / time-to-detection); "
+                        "exits 3 when a quality floor is missed")
+    p.add_argument("--labels", metavar="FILE", default=None,
+                   help="attack ground-truth JSON for --detect "
+                        "(from 'simulate --labels')")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("aggregate", help="roll up TSV files + retention")
@@ -470,6 +555,12 @@ def build_parser():
                    help="build a columnar sidecar segment for every "
                         "flushed window, so windows evicted from the "
                         "LRU cold-read as binary column scans")
+    p.add_argument("--detectors", dest="detectors_on", nargs="*",
+                   default=None, metavar="NAME",
+                   help="run streaming abuse detectors: a _detector "
+                        "TSV per window, detect-* rules added to "
+                        "/platform/health (bare flag = all: exfil "
+                        "ddos noh)")
     p.set_defaults(func=cmd_run)
     return parser
 

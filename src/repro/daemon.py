@@ -120,6 +120,13 @@ class LiveDaemon:
     rules:
         Alert rules; :data:`~repro.observatory.alerts.DAEMON_RULES`
         are appended so ``/platform/health`` covers the daemon itself.
+    detectors:
+        Abuse-detection spec passed through to the pipeline (``True``
+        for all registered detectors, or a list of names; see
+        :mod:`repro.detect`).  When set, every window also emits a
+        ``_detector`` meta-dataset and
+        :data:`~repro.observatory.alerts.DETECTOR_RULES` join the rule
+        set, so a flagged eSLD trips ``/platform/health``.
     segments:
         Build a columnar sidecar segment
         (:mod:`~repro.observatory.segments`) for every flushed window
@@ -141,7 +148,7 @@ class LiveDaemon:
                  max_connections=64, stream_threshold=None, rules=None,
                  segments=False, exit_when_done=False,
                  ready_callback=None, batch_size=BATCH_SIZE,
-                 dispatch_interval=DISPATCH_INTERVAL):
+                 dispatch_interval=DISPATCH_INTERVAL, detectors=None):
         self._source = source
         self.output_dir = output_dir
         self.datasets = list(datasets)
@@ -156,8 +163,12 @@ class LiveDaemon:
         self.cache_windows = cache_windows
         self.max_connections = max_connections
         self.stream_threshold = stream_threshold
+        self.detectors = detectors
         base = DEFAULT_RULES if rules is None else rules
         self.rules = list(base) + list(DAEMON_RULES)
+        if detectors:
+            from repro.observatory.alerts import DETECTOR_RULES
+            self.rules += list(DETECTOR_RULES)
         self.segments = bool(segments)
         self.exit_when_done = exit_when_done
         self.ready_callback = ready_callback
@@ -204,11 +215,12 @@ class LiveDaemon:
                 window_seconds=self.window_seconds,
                 transport=self.transport, keep_dumps=False,
                 telemetry=self.telemetry, flush_hook=self._on_flush,
-                **extra)
+                detectors=self.detectors, **extra)
         return Observatory(
             datasets=specs, output_dir=self.output_dir,
             window_seconds=self.window_seconds, keep_dumps=False,
-            telemetry=self.telemetry, flush_hook=self._on_flush)
+            telemetry=self.telemetry, flush_hook=self._on_flush,
+            detectors=self.detectors)
 
     async def _main(self):
         loop = asyncio.get_running_loop()

@@ -1,0 +1,155 @@
+"""Streaming abuse detection on the sketch layer.
+
+See :mod:`repro.detect.base` for the detector protocol and the
+accumulator/scorer split that keeps sharded runs bit-identical to a
+single process.  The package exposes a small registry so CLI flags
+(``--detectors``) and the daemon can build detectors by name::
+
+    detectors = build_detectors(True)          # all defaults
+    detectors = build_detectors(["ddos"])      # a subset
+
+Detector output rides the ``_detector`` meta-dataset;
+``DETECTOR_RULES`` in :mod:`repro.observatory.alerts` turn its summary
+rows into ``/platform/health`` verdicts.
+"""
+
+from repro.detect.base import (DEFAULT_DETECTORS, DETECTOR_DATASET,
+                               Detector, DetectorWindowState,
+                               qname_info_millibits)
+from repro.detect.ddos import DdosDetector
+from repro.detect.exfil import ExfilDetector
+from repro.detect.noh import NohDetector
+from repro.sketches._hashing import hash64
+
+#: shared qname-prep memo bound (raw qname -> (esld, norm, hash));
+#: benign traffic repeats names heavily, attack floods churn it
+_MEMO_MAX = 1 << 16
+
+#: name -> class registry; iteration order is the canonical emit order
+REGISTRY = {
+    "exfil": ExfilDetector,
+    "ddos": DdosDetector,
+    "noh": NohDetector,
+}
+
+
+def build_detectors(spec, psl=None):
+    """Build a :class:`DetectorSet` from *spec*.
+
+    *spec* may be True (all registered detectors), an iterable of
+    registry names and/or ready :class:`Detector` instances, or a
+    falsy value (returns None).  Names are instantiated with their
+    default thresholds; pass instances to customize.
+    """
+    if not spec:
+        return None
+    if spec is True:
+        spec = DEFAULT_DETECTORS
+    detectors = []
+    for item in spec:
+        if isinstance(item, Detector):
+            detectors.append(item)
+            continue
+        try:
+            cls = REGISTRY[item]
+        except KeyError:
+            raise ValueError("unknown detector %r (have: %s)"
+                             % (item, ", ".join(sorted(REGISTRY))))
+        detectors.append(cls(psl=psl))
+    return DetectorSet(detectors)
+
+
+class DetectorSet:
+    """A fixed-order group of detectors sharing the window lifecycle."""
+
+    def __init__(self, detectors):
+        self.detectors = list(detectors)
+        by_name = {}
+        for det in self.detectors:
+            if det.name in by_name:
+                raise ValueError("duplicate detector %r" % det.name)
+            by_name[det.name] = det
+        self._by_name = by_name
+        #: the hot-path prep (one PSL walk + one qname hash per
+        #: transaction, shared by every detector) is only sound when
+        #: all members resolve eSLDs identically
+        self._shared_psl = bool(self.detectors) and all(
+            det._effective_sld is self.detectors[0]._effective_sld
+            for det in self.detectors)
+        self._memo = {}
+
+    def __iter__(self):
+        return iter(self.detectors)
+
+    def __len__(self):
+        return len(self.detectors)
+
+    @property
+    def names(self):
+        return [det.name for det in self.detectors]
+
+    def observe(self, txn):
+        self.observe_batch((txn,))
+
+    def observe_batch(self, txns):
+        """Feed transactions to every detector.
+
+        When all detectors share one PSL, the eSLD split, the
+        normalized qname and its 64-bit hash are computed once per
+        transaction (memoized across repeats) and handed to each
+        detector's ``observe_prepared`` -- the same values the plain
+        ``observe`` path derives per detector, so both paths emit
+        identical windows."""
+        if not self._shared_psl:
+            for det in self.detectors:
+                det.observe_batch(txns)
+            return
+        detectors = self.detectors
+        esld_of = detectors[0].esld
+        memo = self._memo
+        for txn in txns:
+            qname = txn.qname
+            prep = memo.get(qname)
+            if prep is None:
+                norm = qname.lower().rstrip(".")
+                if len(memo) >= _MEMO_MAX:
+                    memo.clear()
+                prep = memo[qname] = (esld_of(norm), norm, hash64(norm))
+            esld = prep[0]
+            if esld is None:
+                continue
+            for det in detectors:
+                det.observe_prepared(txn, esld, prep[1], prep[2])
+
+    def take_states(self, start_ts):
+        """Window states for the shard transport, one per detector."""
+        return [DetectorWindowState(det.name, start_ts, det.take_state())
+                for det in self.detectors]
+
+    def absorb(self, state):
+        det = self._by_name.get(state.name)
+        if det is None:
+            raise ValueError("state for unknown detector %r" % state.name)
+        det.absorb(state.payload)
+
+    def cut(self, start_ts, end_ts):
+        """Score the window across all detectors; concatenated rows."""
+        rows = []
+        for det in self.detectors:
+            rows.extend(det.cut(start_ts, end_ts))
+        return rows
+
+
+__all__ = [
+    "DEFAULT_DETECTORS",
+    "DETECTOR_DATASET",
+    "Detector",
+    "DetectorSet",
+    "DetectorWindowState",
+    "DdosDetector",
+    "ExfilDetector",
+    "NohDetector",
+    "REGISTRY",
+    "build_detectors",
+    "qname_info_millibits",
+]

@@ -151,6 +151,19 @@ daemon-ingest: daemon.ingest_ok >= 1
 daemon-lag:    daemon.ingest_lag_s < 5 for 2 windows
 """))
 
+#: Abuse-detection rules over the ``_detector`` meta-dataset's summary
+#: rows (one row per detector per window, keyed by the bare detector
+#: name; see :mod:`repro.detect`).  The healthy condition is "nothing
+#: flagged": the moment a detector flags any eSLD, its rule FAILs and
+#: ``/platform/health`` reports the incident.  Appended to the rule
+#: set only when detectors run, so detector-less deployments do not
+#: report perpetual ``no_data``.
+DETECTOR_RULES = tuple(parse_rules("""
+detect-exfil: exfil.flagged < 1
+detect-ddos:  ddos.flagged < 1
+detect-noh:   noh.flagged < 1
+"""))
+
 
 class Verdict:
     """Outcome of one rule against one component's recent windows."""

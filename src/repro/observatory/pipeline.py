@@ -58,13 +58,19 @@ class Observatory:
         serving store and wake push subscribers without a directory
         re-scan; it runs on the ingest thread, so it must be cheap and
         must not raise.
+    detectors:
+        ``True`` (all registered detectors), a list of detector names
+        or :class:`~repro.detect.Detector` instances, or a ready
+        :class:`~repro.detect.DetectorSet`.  Every window boundary
+        then also emits a ``_detector`` meta-dataset dump through the
+        same sink/TSV path (see :mod:`repro.detect`).  Off by default.
     """
 
     def __init__(self, datasets=("srvip",), window_seconds=60.0,
                  output_dir=None, keep_dumps=True, tau=300.0,
                  use_bloom_gate=True, hll_precision=8, psl=None,
                  skip_recent_inserts=True, telemetry=False,
-                 flush_hook=None):
+                 flush_hook=None, detectors=None):
         self._trackers = {}
         for item in datasets:
             spec = self._resolve(item)
@@ -79,10 +85,16 @@ class Observatory:
         self.flush_hook = flush_hook
         self.dumps = {name: [] for name in self._trackers}
         self.telemetry = resolve_telemetry(telemetry)
+        from repro.detect import DetectorSet, build_detectors
+
+        if detectors is not None and not isinstance(detectors,
+                                                    DetectorSet):
+            detectors = build_detectors(detectors, psl=psl)
+        self.detectors = detectors
         self.windows = WindowManager(
             self._trackers.values(), window_seconds=window_seconds,
             sink=self._sink, skip_recent_inserts=skip_recent_inserts,
-            telemetry=self.telemetry,
+            telemetry=self.telemetry, detectors=detectors,
         )
 
     @staticmethod

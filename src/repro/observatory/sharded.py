@@ -75,6 +75,7 @@ import time
 import zlib
 from queue import Empty
 
+from repro.detect import DETECTOR_DATASET, DetectorWindowState
 from repro.observatory.pipeline import Observatory
 from repro.observatory.ringbuf import (
     RING_LINK_DELTAS,
@@ -260,6 +261,14 @@ class ShardedObservatory:
         merged ``_platform`` dump combining coordinator rows (queue
         depth, batch codec bytes, merge latency, worker liveness)
         with every shard's own rows under a ``shardN.`` key prefix.
+    detectors:
+        ``True`` / detector names / instances (see
+        :class:`~repro.observatory.pipeline.Observatory`).  Workers
+        run the detectors' mergeable window accumulators and ship
+        them at every cut; the coordinator absorbs the shard states
+        and runs the scorer (EWMA baselines, Bloom generations), so
+        the emitted ``_detector`` series is bit-identical to a
+        single-process run over the same stream.
     """
 
     def __init__(self, shards=2, datasets=("srvip",), window_seconds=60.0,
@@ -268,7 +277,8 @@ class ShardedObservatory:
                  skip_recent_inserts=True, batch_size=DEFAULT_BATCH_SIZE,
                  partition="srcsrv", transport="pickle",
                  ring_bytes=DEFAULT_RING_BYTES, mp_context=None,
-                 timeout=300.0, telemetry=False, flush_hook=None):
+                 timeout=300.0, telemetry=False, flush_hook=None,
+                 detectors=None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = int(shards)
@@ -317,6 +327,18 @@ class ShardedObservatory:
                       hll_precision=hll_precision,
                       skip_recent_inserts=skip_recent_inserts,
                       telemetry=self.telemetry.enabled)
+        #: coordinator-side scorer detectors (EWMA baselines, Bloom
+        #: generations); workers get accumulator-only twins via obs_kw
+        self._detectors = None
+        if detectors:
+            from repro.detect import DetectorSet, build_detectors
+
+            if isinstance(detectors, DetectorSet):
+                self._detectors = detectors
+                obs_kw["detectors"] = list(detectors.names)
+            else:
+                self._detectors = build_detectors(detectors)
+                obs_kw["detectors"] = detectors
         context = self._resolve_context(mp_context)
         use_ring = self._transport.is_ring
         self._out_q = context.Queue()
@@ -621,25 +643,56 @@ class ShardedObservatory:
 
     def _merge_and_emit(self, states):
         """Group shard states by (window, dataset), merge each group
-        into a WindowDump, and emit in stream order."""
+        into a WindowDump, and emit in stream order.
+
+        Detector states ride the same transport but take a different
+        merge: per window, every shard's accumulator is absorbed into
+        the coordinator's detectors (order-invariant exact merges) and
+        the scorer cut emits one ``_detector`` dump -- the sharded
+        twin of ``WindowManager._detector_dump``.
+        """
         started = time.perf_counter() if self.telemetry.enabled else 0.0
         grouped = {}
+        detector_states = {}
         for state in states:
+            if isinstance(state, DetectorWindowState):
+                detector_states.setdefault(state.start_ts, []).append(state)
+                continue
             grouped.setdefault((state.start_ts, state.dataset), []).append(state)
         dumps = []
-        starts = sorted({start for start, _ in grouped})
+        starts = sorted({start for start, _ in grouped}
+                        | set(detector_states))
         for start in starts:
             for dataset in self._dataset_order:
                 group = grouped.get((start, dataset))
                 if group is None:
                     continue
                 dumps.append(self._merge_window(dataset, start, group))
+            if self._detectors is not None:
+                dumps.append(self._merge_detectors(
+                    start, detector_states.get(start, ()), grouped))
             self.windows_completed += 1
         if self.telemetry.enabled:
             self._merge_timer.observe(time.perf_counter() - started)
         for dump in dumps:
             self._emit(dump)
         return dumps
+
+    def _merge_detectors(self, start, window_states, grouped):
+        """Absorb one window's shard accumulators, score, and wrap
+        the rows into a ``_detector`` dump identical to the one a
+        single process would emit for this window."""
+        for state in window_states:
+            self._detectors.absorb(state)
+        rows = self._detectors.cut(start, start + self.window_seconds)
+        # Mirror the single-process stats: "seen" is every transaction
+        # the window saw, which each tracker state reports per shard.
+        first = self._dataset_order[0]
+        seen = sum(s.stats["seen"]
+                   for s in grouped.get((start, first), ()))
+        return WindowDump(DETECTOR_DATASET, start, rows,
+                          {"seen": seen, "kept": len(rows)},
+                          columns=union_columns(rows))
 
     def _emit(self, dump):
         if self.keep_dumps:

@@ -179,17 +179,25 @@ class WindowManager:
         ``_platform`` :class:`WindowDump` with one row per component.
         Falsy (the default) wires the shared no-op registry: nothing
         is recorded and the hot path is untouched.
+    detectors:
+        A :class:`~repro.detect.DetectorSet` (or None).  Detectors
+        observe every transaction; in dump mode each boundary scores
+        and emits a ``_detector`` :class:`WindowDump`, in shard-worker
+        mode each boundary ships the detectors' mergeable window
+        accumulators as :class:`~repro.detect.DetectorWindowState`
+        through *state_sink* (scoring happens on the merging side).
     """
 
     def __init__(self, trackers, window_seconds=60.0, sink=None,
                  skip_recent_inserts=True, state_sink=None,
-                 telemetry=None):
+                 telemetry=None, detectors=None):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         self.trackers = list(trackers)
         self.window_seconds = float(window_seconds)
         self.sink = sink
         self.state_sink = state_sink
+        self.detectors = detectors
         self.skip_recent_inserts = skip_recent_inserts
         self._window_start = None
         self._seen_in_window = 0
@@ -237,6 +245,8 @@ class WindowManager:
             entry = tracker.observe(txn, hashes)
             if entry is not None:
                 self._kept_in_window[tracker.spec.name] += 1
+        if self.detectors is not None:
+            self.detectors.observe(txn)
         return dumps
 
     def consume_batch(self, txns):
@@ -281,6 +291,8 @@ class WindowManager:
                 kept = observe_batches[t](segment, hashes_list)
                 if kept:
                     kept_map[names[t]] += kept
+            if self.detectors is not None:
+                self.detectors.observe_batch(segment)
             count = j - i
             self.total_seen += count
             self._seen_in_window += count
@@ -369,6 +381,11 @@ class WindowManager:
                 self.sink(dump)
             tracker.reset_window_stats()
             self._kept_in_window[tracker.spec.name] = 0
+        if self.detectors is not None:
+            detector = self._detector_dump(start)
+            dumps.append(detector)
+            if self.sink is not None:
+                self.sink(detector)
         if telemetry.enabled:
             self._flush_timer.observe(time.perf_counter() - started)
             self._rows_counter.inc(total_rows)
@@ -379,6 +396,18 @@ class WindowManager:
                 self.sink(platform)
         self._advance_window(start)
         return dumps
+
+    def _detector_dump(self, start):
+        """Score the completed window across all detectors and wrap
+        the rows into a ``_detector`` WindowDump (the ``_platform``
+        pattern: one meta-dataset through the normal TSV chain)."""
+        from repro.detect import DETECTOR_DATASET
+
+        rows = self.detectors.cut(start, start + self.window_seconds)
+        return WindowDump(
+            DETECTOR_DATASET, start, rows,
+            {"seen": self._seen_in_window, "kept": len(rows)},
+            columns=union_columns(rows))
 
     def _platform_dump(self, start):
         """Wrap the registry snapshot into a ``_platform`` WindowDump
@@ -427,6 +456,9 @@ class WindowManager:
             self.state_sink(ShardWindowState(
                 tracker.spec.name, start, entries, inserted, stats))
             self._kept_in_window[tracker.spec.name] = 0
+        if self.detectors is not None:
+            for state in self.detectors.take_states(start):
+                self.state_sink(state)
         if telemetry.enabled:
             self._flush_timer.observe(time.perf_counter() - started)
         self._advance_window(start)

@@ -16,9 +16,17 @@ Endpoints (all GET):
   and a final ``event: eof`` when the daemon drains on SIGTERM;
 * ``/topk/<dataset>`` -- top-``n`` keys ranked ``by=`` a column over a
   range (the paper's "top-k FQDNs now" question);
-* ``/key/<dataset>/<key>`` -- one key's ``column=`` time series;
+* ``/topk/windows/<dataset>`` -- per-window top-``n``: one ranked
+  entry per window over the range, streamed one window at a time
+  (rank evolution, where ``/topk`` collapses the range);
+* ``/key/<dataset>/<key>`` -- one key's ``column=`` time series
+  (``limit=`` newest windows; ``cursor=`` pages oldest-first exactly
+  like ``/series``, the answer's ``next_cursor`` feeding the next
+  page);
 * ``/platform/health`` -- alert-rule verdicts over the ``_platform``
-  telemetry series plus server/store self-stats.
+  telemetry series -- joined by the ``_detector`` series when abuse
+  detectors run, so ``detect-*`` rules trip on flagged eSLDs -- plus
+  server/store self-stats.
 
 Responses over closed windows are immutable, so every store-backed
 endpoint carries a strong ETag derived from the exact file revisions
@@ -49,6 +57,7 @@ import json
 import time
 from collections import OrderedDict
 
+from repro.detect import DETECTOR_DATASET
 from repro.observatory import alerts
 from repro.observatory.telemetry import PLATFORM_DATASET, resolve_telemetry
 from repro.observatory.tsv import GRANULARITIES
@@ -107,7 +116,8 @@ class ObservatoryApp:
         0 streams everything with a body.
     """
 
-    ROUTES = ("datasets", "series", "topk", "key", "platform", "stream")
+    ROUTES = ("datasets", "series", "topk", "topk_windows", "key",
+              "platform", "stream")
 
     def __init__(self, store, rules=alerts.DEFAULT_RULES, telemetry=None,
                  server=None, stream_threshold=STREAM_THRESHOLD_BYTES,
@@ -197,6 +207,9 @@ class ObservatoryApp:
             return "datasets", self.handle_datasets, ()
         if len(parts) == 2 and parts[0] == "series":
             return "series", self.handle_series, (parts[1],)
+        if len(parts) == 3 and parts[0] == "topk" \
+                and parts[1] == "windows":
+            return "topk_windows", self.handle_topk_windows, (parts[2],)
         if len(parts) == 2 and parts[0] == "topk":
             return "topk", self.handle_topk, (parts[1],)
         if len(parts) == 3 and parts[0] == "key":
@@ -621,10 +634,53 @@ class ObservatoryApp:
 
         return self._conditional_json("topk", request, etag, build)
 
+    def handle_topk_windows(self, request, dataset):
+        """Streamed per-window top-``n``: one ``{start_ts, top}``
+        entry per window in the range, ranked inside each window
+        (``/topk`` ranks over the accumulated range instead).  Backed
+        by the store's one-window-at-a-time ranking iterator, so a
+        yearly span streams in bounded memory exactly like
+        ``/series``."""
+        granularity = self._granularity(request)
+        start, end = self._range(request)
+        n = self._int_param(request, "n", 10, 1, MAX_TOPK)
+        by = request.params.get("by", "hits")
+        refs = self._select_known(dataset, granularity, start, end)
+        etag = self._etag(refs, dataset, granularity, request.raw_query)
+        meta = {
+            "dataset": dataset,
+            "granularity": granularity,
+            "by": by,
+            "n": n,
+            "window_count": len(refs),
+        }
+
+        def entries():
+            windows = self.store.iter_topk_windows(
+                dataset, n=n, by=by, granularity=granularity,
+                start_ts=start, end_ts=end)
+            for start_ts, top in windows:
+                yield {
+                    "start_ts": start_ts,
+                    "top": [{"key": key, "rank": rank + 1,
+                             "value": row.get(by, 0), "row": row}
+                            for rank, (key, row) in enumerate(top)],
+                }
+
+        def fragments():
+            return self._json_fragments(meta, "windows", entries())
+
+        return self._fragment_response("topk_windows", request, etag,
+                                       fragments,
+                                       self._should_stream(refs))
+
     def handle_key(self, request, dataset, key):
         granularity = self._granularity(request)
         start, end = self._range(request)
         column = request.params.get("column", "hits")
+        limit = self._int_param(request, "limit", MAX_WINDOWS, 1,
+                                MAX_WINDOWS)
+        cursor = self._float_param(request, "cursor")
         refs = self._select_known(dataset, granularity, start, end)
         etag = self._etag(refs, dataset, granularity, key,
                           request.raw_query)
@@ -632,16 +688,25 @@ class ObservatoryApp:
             return Response.not_modified(etag)
         # the 404 contract must be decided before the first chunk goes
         # out (a streamed status line cannot be unsent); the scan runs
-        # through the window LRU, so the 200 path reuses the parses
+        # through the window LRU, so the 200 path reuses the parses.
+        # It is decided over the full selection, not the page: a key
+        # absent from one page of a series it does appear in is an
+        # empty page, not a 404.
         if not self.store.has_key(dataset, key, granularity,
                                   start_ts=start, end_ts=end):
             raise HttpError(404, "key %r not found in dataset %r"
                             % (key, dataset))
+        next_cursor = None
+        if cursor is not None:
+            refs, next_cursor = self._page(refs, cursor, limit)
+        else:
+            refs = refs[-limit:]  # newest windows win under a limit
         meta = {
             "dataset": dataset,
             "key": key,
             "column": column,
             "granularity": granularity,
+            "next_cursor": next_cursor,
         }
 
         def fragments():
@@ -656,11 +721,18 @@ class ObservatoryApp:
         granularity = self._granularity(request)
         windows = self._int_param(request, "windows", 60, 1, MAX_WINDOWS)
         series = self.store.read(PLATFORM_DATASET, granularity)[-windows:]
-        verdicts = alerts.evaluate(series, self.rules)
+        # detector verdicts ride the same rule engine: the _detector
+        # meta-dataset's summary components (exfil/ddos/noh) are
+        # disjoint from every _platform component, so the two series
+        # evaluate side by side without cross-matching
+        detector = self.store.read(DETECTOR_DATASET,
+                                   granularity)[-windows:]
+        verdicts = alerts.evaluate(series + detector, self.rules)
         payload = alerts.summarize(verdicts)
         payload.update({
             "verdicts": [v.as_dict() for v in verdicts],
             "platform_windows": len(series),
+            "detector_windows": len(detector),
             "latest_window_ts": series[-1].start_ts if series else None,
             "store": self.store.cache_info(),
             "server": self._telemetry_row(None),

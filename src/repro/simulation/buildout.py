@@ -18,6 +18,8 @@ from repro.simulation.scenario import (
     Renumber,
     Scenario,
     TtlChange,
+    TunnelAttack,
+    WaterTorture,
 )
 from repro.simulation.topology import Nameserver, Topology
 from repro.simulation.zones import RootZone, SldZone, TldZone
@@ -182,8 +184,8 @@ class GlobalDns:
                                             i + 1)
                        for i in range(len(a_record.values) if a_record else 1))
             zone.add_record(event.fqdn, QTYPE.AAAA, ttl, v6)
-        elif isinstance(event, JunkSurge):
-            pass  # traffic-side event; realized by the workload mix
+        elif isinstance(event, (JunkSurge, TunnelAttack, WaterTorture)):
+            pass  # traffic-side events; realized by the workload mix
         else:
             raise TypeError("unknown scripted event %r" % (event,))
 

@@ -86,6 +86,61 @@ class JunkSurge:
                                                    self.qps)
 
 
+class TunnelAttack:
+    """From *at* until *until*, a DNS-tunnel client exfiltrates data
+    through *sld*: every query carries a fresh high-entropy payload
+    encoded in the subdomain labels (the detection target of the
+    ``exfil`` and ``noh`` detectors, see :mod:`repro.detect`).
+
+    ``sld=None`` picks a deterministic wildcard-answering victim zone
+    at workload-build time, so queries are *answered* -- a live tunnel
+    endpoint, not an NXDOMAIN storm.  Ground truth for the resolved
+    victim is exposed via ``WorkloadMix.attack_labels()``.
+    """
+
+    kind = "tunnel"
+
+    def __init__(self, at, qps, sld=None, until=None, label_len=40,
+                 payload_labels=2):
+        self.at = float(at)
+        self.qps = float(qps)
+        self.sld = None if sld is None else sld.lower().rstrip(".")
+        self.until = None if until is None else float(until)
+        #: characters per payload label
+        self.label_len = int(label_len)
+        #: payload labels per query
+        self.payload_labels = int(payload_labels)
+
+    def __repr__(self):
+        return "TunnelAttack(%.0fs, %.1f qps, %s)" % (
+            self.at, self.qps, self.sld or "<auto>")
+
+
+class WaterTorture:
+    """From *at* until *until*, a random-subdomain (water-torture)
+    DDoS floods *sld* with *qps* queries for random nonexistent
+    subdomains -- the ``ddos`` detector's target workload.  Unlike
+    :class:`JunkSurge` (a PRSD nuisance against whatever SLD the
+    Figure 8 experiment names), this is a labeled attack: the victim
+    (``sld=None`` picks a deterministic non-wildcard zone) appears in
+    ``WorkloadMix.attack_labels()`` ground truth.
+    """
+
+    kind = "watertorture"
+
+    def __init__(self, at, qps, sld=None, until=None, label_len=12):
+        self.at = float(at)
+        self.qps = float(qps)
+        self.sld = None if sld is None else sld.lower().rstrip(".")
+        self.until = None if until is None else float(until)
+        #: characters in the random subdomain label
+        self.label_len = int(label_len)
+
+    def __repr__(self):
+        return "WaterTorture(%.0fs, %.1f qps, %s)" % (
+            self.at, self.qps, self.sld or "<auto>")
+
+
 class Scenario:
     """All simulation parameters.  See :meth:`tiny` for a quick start.
 

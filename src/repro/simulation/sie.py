@@ -114,6 +114,11 @@ class SieChannel:
         total = sum(r.client_queries for r in self.resolvers)
         return answered / total if total else 0.0
 
+    def attack_labels(self):
+        """Ground truth for scripted attacks (see
+        :meth:`WorkloadMix.attack_labels`)."""
+        return self.workload.attack_labels()
+
 
 def simulate_stream(scenario):
     """Convenience: yield the transaction stream for *scenario*.

@@ -79,11 +79,16 @@ class WorkloadMix:
         self._catalog_sampler = ZipfSampler(
             max(len(dns.catalog), 1), s=0.95)
         self._sld_sampler = ZipfSampler(max(len(dns.slds), 1), s=0.8)
+        from repro.simulation.attacks import resolve_attacks
+
+        #: scripted attacks bound to concrete victim zones (ground truth)
+        self.attacks = resolve_attacks(self)
 
     # ------------------------------------------------------------------
 
     def events(self):
         """Yield all :class:`ClientEvent` in time order."""
+        from repro.simulation.attacks import attack_events
         from repro.simulation.scenario import JunkSurge
 
         generators = []
@@ -95,7 +100,16 @@ class WorkloadMix:
         for i, event in enumerate(self.scenario.scripted_events):
             if isinstance(event, JunkSurge):
                 generators.append(self._gen_junk_surge(event, i))
+        for attack in self.attacks:
+            generators.append(attack_events(self, attack))
         return heapq.merge(*generators, key=lambda e: e.ts)
+
+    def attack_labels(self):
+        """Ground-truth labels for every scripted attack: a list of
+        ``{kind, esld, start, end, qps}`` dicts (see
+        :mod:`repro.simulation.attacks`)."""
+        return [attack.label(self.scenario.duration)
+                for attack in self.attacks]
 
     def _gen_junk_surge(self, surge, index):
         """PRSD-style junk against one SLD, starting mid-run (the

@@ -30,6 +30,7 @@ Python with no third-party dependencies.
 
 from repro.sketches.bloom import BloomFilter, RotatingBloomFilter
 from repro.sketches.countmin import CmsTopK, CountMinSketch
+from repro.sketches.distinct import DistinctSpaceSaving
 from repro.sketches.ewma import ForwardDecay
 from repro.sketches.histogram import LogHistogram
 from repro.sketches.hyperloglog import HyperLogLog
@@ -42,6 +43,7 @@ __all__ = [
     "RotatingBloomFilter",
     "CmsTopK",
     "CountMinSketch",
+    "DistinctSpaceSaving",
     "ForwardDecay",
     "LogHistogram",
     "HyperLogLog",

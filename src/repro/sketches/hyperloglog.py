@@ -26,6 +26,11 @@ from pickle import PickleBuffer
 
 from repro.sketches._hashing import hash64
 
+#: 2**-rank for every possible register value; powers of two are exact
+#: in binary floating point, so table lookup is bit-identical to
+#: computing ``2.0 ** -reg`` inline
+_INV_POW2 = tuple(2.0 ** -r for r in range(256))
+
 
 class HyperLogLog:
     """A mergeable HyperLogLog counter.
@@ -83,13 +88,24 @@ class HyperLogLog:
     def cardinality(self):
         """Return the estimated number of distinct keys added."""
         m = self.num_registers
+        registers = self._registers
+        zeros = registers.count(0)
+        # Linear-counting short-circuit: each zero register contributes
+        # 1.0 to inv_sum, so inv_sum >= zeros and therefore
+        # raw <= alpha * m**2 / zeros.  When that bound already sits
+        # under the 2.5*m small-range threshold, the raw estimate is
+        # guaranteed to be discarded for linear counting -- which needs
+        # only the zero count -- and the register scan can be skipped
+        # entirely.  Sparse sketches (the per-key HLLs of the distinct
+        # heavy-hitter detector) take this path almost always.
+        alpha = self._alpha()
+        if zeros and alpha * m <= 2.5 * zeros:
+            return m * math.log(m / zeros)
         inv_sum = 0.0
-        zeros = 0
-        for reg in self._registers:
-            inv_sum += 2.0 ** -reg
-            if reg == 0:
-                zeros += 1
-        raw = self._alpha() * m * m / inv_sum
+        table = _INV_POW2
+        for reg in registers:
+            inv_sum += table[reg]
+        raw = alpha * m * m / inv_sum
         # Small-range correction via linear counting (Heule et al.).
         if raw <= 2.5 * m and zeros:
             return m * math.log(m / zeros)

@@ -427,3 +427,131 @@ def test_json_payloads_are_sorted_and_terminated(series_dir):
     text = resp.body.decode("utf-8")
     assert text.endswith("\n")
     json.loads(text)
+
+
+class TestTopkWindows:
+    def test_matches_store_per_window_ranking(self, series_dir):
+        async def scenario(server, app):
+            return await http_get(server.port,
+                                  "/topk/windows/srvip?n=2&by=hits")
+
+        resp = run_with_server(series_dir, scenario)
+        assert resp.status == 200
+        payload = resp.json()
+        assert payload["dataset"] == "srvip"
+        assert payload["n"] == 2
+        assert payload["by"] == "hits"
+        store = SeriesStore(str(series_dir))
+        want = list(store.iter_topk_windows("srvip", n=2))
+        assert payload["window_count"] == len(want)
+        assert len(payload["windows"]) == len(want)
+        for got, (start_ts, top) in zip(payload["windows"], want):
+            assert got["start_ts"] == start_ts
+            assert [t["key"] for t in got["top"]] == [k for k, _ in top]
+            assert [t["rank"] for t in got["top"]] == \
+                list(range(1, len(top) + 1))
+            for entry, (_, row) in zip(got["top"], top):
+                assert entry["value"] == row.get("hits", 0)
+                assert entry["row"] == row
+        # within every window the ranking is non-increasing
+        for got in payload["windows"]:
+            values = [t["value"] for t in got["top"]]
+            assert values == sorted(values, reverse=True)
+
+    def test_range_narrows_the_stream(self, series_dir):
+        async def scenario(server, app):
+            full = await http_get(server.port, "/topk/windows/srvip")
+            part = await http_get(
+                server.port, "/topk/windows/srvip?start=60&end=180")
+            return full, part
+
+        full, part = run_with_server(series_dir, scenario)
+        all_ts = [w["start_ts"] for w in full.json()["windows"]]
+        part_ts = [w["start_ts"] for w in part.json()["windows"]]
+        assert part_ts == [ts for ts in all_ts if 60 <= ts < 180]
+        assert 0 < len(part_ts) < len(all_ts)
+
+    def test_unknown_dataset_404(self, series_dir):
+        async def scenario(server, app):
+            return await http_get(server.port, "/topk/windows/nosuch")
+
+        resp = run_with_server(series_dir, scenario)
+        assert resp.status == 404
+        assert "unknown dataset" in resp.json()["error"]
+
+    def test_etag_covers_the_query_shape(self, series_dir):
+        async def scenario(server, app):
+            first = await http_get(server.port, "/topk/windows/srvip?n=2")
+            etag = first.headers["etag"]
+            repeat = await http_get(server.port, "/topk/windows/srvip?n=2",
+                                    headers={"If-None-Match": etag})
+            other = await http_get(server.port, "/topk/windows/srvip?n=3",
+                                   headers={"If-None-Match": etag})
+            return first, repeat, other
+
+        first, repeat, other = run_with_server(series_dir, scenario)
+        assert first.status == 200
+        assert repeat.status == 304
+        assert other.status == 200  # a different n is a different entity
+
+
+class TestKeyPaging:
+    def test_pages_reassemble_the_full_key_series(self, series_dir):
+        async def scenario(server, app):
+            full = (await http_get(
+                server.port, "/key/srvip/192.0.2.1")).json()
+            pages = []
+            cursor = -1  # exclusive: strictly below the first window
+            while cursor is not None:
+                page = (await http_get(
+                    server.port,
+                    "/key/srvip/192.0.2.1?limit=2&cursor=%s"
+                    % cursor)).json()
+                pages.append(page)
+                cursor = page["next_cursor"]
+            return full, pages
+
+        full, pages = run_with_server(series_dir, scenario)
+        assert len(pages) >= 2
+        assert all(len(p["series"]) <= 2 for p in pages)
+        walked = [point for p in pages for point in p["series"]]
+        # oldest-first pages concatenate to exactly the full answer
+        assert walked == full["series"]
+        assert pages[-1]["next_cursor"] is None
+        # the cursor names the last window the client already holds
+        assert pages[0]["next_cursor"] == pages[0]["series"][-1][0]
+
+    def test_limit_without_cursor_keeps_newest(self, series_dir):
+        async def scenario(server, app):
+            full = (await http_get(
+                server.port, "/key/srvip/192.0.2.1")).json()
+            tail = (await http_get(
+                server.port, "/key/srvip/192.0.2.1?limit=2")).json()
+            return full, tail
+
+        full, tail = run_with_server(series_dir, scenario)
+        # no cursor: /key keeps its original newest-windows semantics
+        assert tail["series"] == full["series"][-2:]
+        assert tail["next_cursor"] is None
+
+    def test_cursor_past_the_end_is_empty_not_error(self, series_dir):
+        async def scenario(server, app):
+            return await http_get(
+                server.port, "/key/srvip/192.0.2.1?cursor=999999999")
+
+        resp = run_with_server(series_dir, scenario)
+        assert resp.status == 200
+        payload = resp.json()
+        assert payload["series"] == []
+        assert payload["next_cursor"] is None
+
+    def test_unknown_key_404_unchanged_by_paging_params(self, series_dir):
+        async def scenario(server, app):
+            return await http_get(
+                server.port,
+                "/key/srvip/198.51.100.99?limit=1&cursor=-1")
+
+        resp = run_with_server(series_dir, scenario)
+        # the 404 check runs over the full selection, not the page
+        assert resp.status == 404
+        assert "not found" in resp.json()["error"]

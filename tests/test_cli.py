@@ -232,3 +232,86 @@ def test_compact_command_idempotent(tmp_path, capsys):
     assert rc == 0
     second = capsys.readouterr().out
     assert "built 0 segment(s)" in second
+
+
+def _attack_fixture(tmp_path, duration="300", attacks=(
+        "tunnel:120:10", "watertorture:120:10")):
+    """simulate with labeled attacks, replay with detectors on."""
+    import json as _json
+
+    stream = tmp_path / "stream.txt"
+    labels = tmp_path / "labels.json"
+    argv = ["simulate", "--preset", "tiny", "--seed", "2019",
+            "--duration", duration, "--qps", "15",
+            "-o", str(stream), "--labels", str(labels)]
+    for spec in attacks:
+        argv += ["--attack", spec]
+    assert main(argv) == 0
+    outdir = tmp_path / "series"
+    assert main(["replay", str(stream), str(outdir),
+                 "--detectors"]) == 0
+    with open(str(labels), encoding="utf-8") as fh:
+        return outdir, labels, _json.load(fh)
+
+
+def test_simulate_labels_records_ground_truth(tmp_path):
+    _, _, labels = _attack_fixture(tmp_path)
+    assert sorted(label["kind"] for label in labels) == \
+        ["tunnel", "watertorture"]
+    for label in labels:
+        assert label["start"] == 120.0
+        assert label["end"] == 300.0
+        assert label["qps"] == 10.0
+        assert label["esld"]
+
+
+def test_attack_spec_parse_errors(tmp_path):
+    stream = tmp_path / "s.txt"
+    for bad in ("tunnel", "tunnel:x:5", "nosuch:10:5", "tunnel:10"):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--preset", "tiny", "-o", str(stream),
+                  "--attack", bad])
+
+
+def test_replay_detectors_writes_detector_series(tmp_path):
+    outdir, _, _ = _attack_fixture(tmp_path)
+    from repro.observatory.tsv import list_series
+    files = list_series(str(outdir), "_detector")
+    assert files
+    from repro.observatory.tsv import read_series
+    rows = {key for d in read_series(str(outdir), "_detector", "minutely")
+            for key, _ in d.rows}
+    assert {"exfil", "ddos", "noh"} <= rows
+
+
+def test_report_detect_pass_exits_0(tmp_path, capsys):
+    outdir, labels, _ = _attack_fixture(tmp_path)
+    capsys.readouterr()
+    rc = main(["report", "--detect", str(outdir),
+               "--labels", str(labels)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Detection quality: PASS" in out
+    for name in ("exfil", "ddos", "noh"):
+        assert name in out
+
+
+def test_report_detect_missed_attack_exits_3(tmp_path, capsys):
+    import json as _json
+
+    outdir, labels, truth = _attack_fixture(tmp_path)
+    # claim an attack the detectors never saw: recall collapses
+    truth.append({"kind": "tunnel", "esld": "never-attacked.test",
+                  "start": 0.0, "end": 300.0, "qps": 1.0})
+    with open(str(labels), "w", encoding="utf-8") as fh:
+        _json.dump(truth, fh)
+    capsys.readouterr()
+    rc = main(["report", "--detect", str(outdir),
+               "--labels", str(labels)])
+    assert rc == 3
+    assert "Detection quality: FAIL" in capsys.readouterr().out
+
+
+def test_report_detect_requires_labels(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["report", "--detect", str(tmp_path)])

@@ -185,3 +185,43 @@ def test_run_segments_flag_writes_fresh_sidecars(tmp_path):
                 read_tsv(path).rows
     finally:
         reap(proc)
+
+
+def test_run_detectors_fire_health_rule_during_attack(tmp_path):
+    """``run --detectors`` against a scripted water-torture flood: the
+    ``_detector`` series flows through the live chain and
+    ``/platform/health`` trips ``detect-ddos`` while the attack is in
+    the newest window."""
+    series = tmp_path / "series"
+    # 10 s windows: two warm-up cuts before the flood starts at t=30;
+    # 60 qps of random subdomains is ~600 distinct per window, far
+    # over the detector's floor
+    proc, port = spawn_daemon(
+        series, "--window", "10", "--pace", "4", "--duration", "130",
+        "--qps", "30", "--datasets", "srvip", "--detectors",
+        "--attack", "watertorture:30:60")
+    try:
+        deadline = time.monotonic() + 60.0
+        tripped = None
+        while time.monotonic() < deadline:
+            health = get_json(port, "/platform/health")
+            verdicts = {v["rule"]: v["status"]
+                        for v in health["verdicts"]}
+            assert "detect-ddos" in verdicts, \
+                "detector rules not wired into the daemon"
+            if verdicts["detect-ddos"] == "fail":
+                tripped = health
+                break
+            time.sleep(0.5)
+        assert tripped is not None, "detect-ddos never fired"
+        assert tripped["status"] == "fail"
+        assert tripped["detector_windows"] >= 1
+
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=20) == 0
+        detector_files = sorted(glob.glob(os.path.join(
+            str(series), "_detector.*.tsv")))
+        assert detector_files, "no _detector windows flushed"
+        assert "Traceback" not in proc.stdout.read()
+    finally:
+        reap(proc)

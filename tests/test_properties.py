@@ -485,3 +485,81 @@ def test_segment_backed_http_responses_byte_identical(segment_tree):
     assert seg_out == tsv_out
     assert seg_store.segment_reads > 0 and seg_store.parses == 0
     assert tsv_store.parses > 0
+
+
+# -- detection subsystem differentials ----------------------------------
+#
+# The detectors make a stronger promise than the tracker datasets: the
+# accumulator/scorer split means the ``_detector`` series -- flush
+# accounting included -- is bit-identical between a sharded run and a
+# single process.  So unlike _tsv_tree above, this comparison keeps
+# the ``#stats`` lines.
+
+def _detector_tree(directory):
+    """{filename: full text} for every ``_detector`` series file."""
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("_detector.") and name.endswith(".tsv"):
+            with open(os.path.join(directory, name),
+                      encoding="utf-8") as fh:
+                out[name] = fh.read()
+    return out
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_sharded_detector_series_bit_identical(seed, tmp_path):
+    """replay --detectors == replay --detectors --shards 2: the
+    ``_detector`` files agree byte for byte, for five random workloads
+    carrying both scripted attacks, through the real CLI."""
+    from repro.cli import main as cli_main
+
+    stream = tmp_path / "stream.txt"
+    assert cli_main(["simulate", "--preset", "tiny", "--seed", str(seed),
+                     "--duration", "300", "--qps", "15",
+                     "--attack", "tunnel:120:10",
+                     "--attack", "watertorture:120:10",
+                     "-o", str(stream)]) == 0
+    single = tmp_path / "single"
+    sharded = tmp_path / "sharded"
+    assert cli_main(["replay", str(stream), str(single),
+                     "--detectors"]) == 0
+    assert cli_main(["replay", str(stream), str(sharded), "--detectors",
+                     "--shards", "2", "--transport", "binary"]) == 0
+    ours, theirs = _detector_tree(str(single)), _detector_tree(str(sharded))
+    assert ours, "no _detector series written"
+    assert sorted(ours) == sorted(theirs)
+    for name in ours:
+        assert ours[name] == theirs[name], "byte mismatch in %s" % name
+    # the comparison exercised live flag paths, not all-quiet windows
+    flagged = sum(row["flagged"]
+                  for d in read_series(str(single), "_detector", "minutely")
+                  for key, row in d.rows if key in ("exfil", "ddos", "noh"))
+    assert flagged > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.text(alphabet=st.sampled_from(_HOSTILE_ALPHABET),
+                        min_size=1, max_size=24),
+                min_size=1, max_size=30))
+def test_detector_rows_survive_tsv_roundtrip(qnames):
+    """Hostile qnames (tabs, newlines, backslashes, '#', non-ASCII)
+    flow through the detectors into ``_detector`` row keys that survive
+    the TSV escape roundtrip: keys byte-exact, values stable after one
+    quantization pass (floats serialize at fixed decimal precision)."""
+    import tempfile
+
+    from repro.detect import build_detectors
+
+    detectors = build_detectors(True)
+    for qname in qnames:
+        detectors.observe(make_txn(qname=qname))
+    rows = detectors.cut(0.0, 60.0)
+    columns = sorted({c for _, row in rows for c in row})
+    data = TimeSeriesData("_detector", "minutely", 0, columns=columns,
+                          rows=rows, stats={"rows": len(rows)})
+    with tempfile.TemporaryDirectory() as d:
+        once = read_tsv(write_tsv(d, data))
+        twice = read_tsv(write_tsv(d, once))
+    assert [key for key, _ in once.rows] == [key for key, _ in rows]
+    assert twice.rows == once.rows
+    assert twice.stats == once.stats == {"rows": len(rows)}

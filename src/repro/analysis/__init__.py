@@ -16,6 +16,15 @@ table or data series:
   history store in :mod:`~repro.analysis.dnsdb`);
 * :mod:`~repro.analysis.happyeyeballs`   -- Figure 9 and §5.3.
 
+Beyond the paper's own results:
+
+* :mod:`~repro.analysis.detectquality`   -- detector precision/recall
+  vs simulator ground truth;
+* :mod:`~repro.analysis.vantage`         -- per-ASN / per-country
+  reachability + time-to-answer indices (the vantage-point study);
+* :mod:`~repro.analysis.blindness`       -- what the pipeline stops
+  seeing as encrypted DNS deploys (``report --blindness``).
+
 Shared plumbing lives in :mod:`~repro.analysis.seriesops` (window
 accumulation) and :mod:`~repro.analysis.tables` (text rendering).
 """

@@ -27,6 +27,7 @@ Subcommands:
 """
 
 import argparse
+import os
 import sys
 
 from repro.observatory.pipeline import Observatory
@@ -57,6 +58,23 @@ def _add_scenario_args(parser):
                              "UNTIL an optional end second; the victim "
                              "zone is picked deterministically "
                              "(repeatable)")
+    parser.add_argument("--encrypted-fraction", type=float, default=None,
+                        metavar="F",
+                        help="fraction of recursive resolvers on "
+                             "encrypted transports (DoH/DoT) in [0, 1]; "
+                             "sensors on those paths emit blinded "
+                             "size/timing-only observations (default 0: "
+                             "all plaintext, byte-identical to a run "
+                             "without this flag)")
+    parser.add_argument("--doh-share", type=float, default=None,
+                        metavar="F",
+                        help="among encrypted resolvers, the DoH share "
+                             "(rest use DoT; default 0.5)")
+    parser.add_argument("--padding-block", type=int, default=None,
+                        metavar="BYTES",
+                        help="EDNS(0)-padding block size applied to "
+                             "blinded response sizes (RFC 8467 "
+                             "recommends 468; default 128)")
 
 
 def _parse_attack(spec):
@@ -85,7 +103,31 @@ def _build_scenario(args):
     if getattr(args, "attack", None):
         overrides["scripted_events"] = [
             _parse_attack(spec) for spec in args.attack]
+    if getattr(args, "encrypted_fraction", None) is not None:
+        overrides["encrypted_fraction"] = args.encrypted_fraction
+    if getattr(args, "doh_share", None) is not None:
+        overrides["doh_share"] = args.doh_share
+    if getattr(args, "padding_block", None) is not None:
+        overrides["padding_block"] = args.padding_block
     return _PRESETS[args.preset](**overrides)
+
+
+def _add_auth_args(parser):
+    parser.add_argument("--token", action="append", default=None,
+                        metavar="TOKEN",
+                        help="require 'Authorization: Bearer TOKEN' on "
+                             "every request; repeatable -- any listed "
+                             "token is accepted, anything else gets "
+                             "401 (default: no auth, loopback trust)")
+    parser.add_argument("--rate-limit", type=float, default=None,
+                        metavar="RPS",
+                        help="per-client token-bucket rate limit in "
+                             "requests/second; a client above it gets "
+                             "429 + Retry-After (default: unlimited)")
+    parser.add_argument("--rate-burst", type=int, default=None,
+                        metavar="N",
+                        help="token-bucket burst capacity (default: "
+                             "2 x RPS, at least 1)")
 
 
 def _detector_spec(args):
@@ -101,6 +143,13 @@ def _detector_spec(args):
 def cmd_simulate(args):
     scenario = _build_scenario(args)
     channel = SieChannel(scenario)
+    if args.vantage_db is not None:
+        from repro.analysis.vantage import VantageDb
+
+        db = VantageDb.from_topology(channel.dns.topology)
+        db.to_tsv(args.vantage_db)
+        print("wrote vantage db (%d ASNs) to %s"
+              % (len(db), args.vantage_db), file=sys.stderr)
     if args.labels is not None:
         import json
 
@@ -126,10 +175,27 @@ def cmd_simulate(args):
     return 0
 
 
+def _vantage_emitter(path):
+    """``--vantage FILE`` -> a :class:`VantageEmitter` (or None)."""
+    if path is None:
+        return None
+    from repro.analysis.vantage import VantageDb, VantageEmitter
+
+    return VantageEmitter(VantageDb.from_tsv(path))
+
+
 def cmd_replay(args):
     if args.shards < 1:
         raise SystemExit("error: --shards must be >= 1, got %d" % args.shards)
+    if args.input != "-" and not os.path.isfile(args.input):
+        return _missing_input("input stream", args.input)
+    if args.vantage is not None and not os.path.isfile(args.vantage):
+        return _missing_input("vantage db", args.vantage)
     datasets = [(name, args.k) for name in args.datasets]
+    vantage = _vantage_emitter(args.vantage)
+    # The _encrypted channel is always armed: it costs nothing until
+    # the first blinded record arrives, and a replay of an encrypted-
+    # mix capture must never silently drop the blinded traffic.
     if args.shards > 1:
         from repro.observatory.sharded import ShardedObservatory
         extra = {}
@@ -143,6 +209,8 @@ def cmd_replay(args):
             transport=args.transport,
             telemetry=args.telemetry,
             detectors=_detector_spec(args),
+            encrypted=True,
+            vantage=vantage,
             **extra,
         )
     else:
@@ -152,6 +220,8 @@ def cmd_replay(args):
             window_seconds=args.window,
             telemetry=args.telemetry,
             detectors=_detector_spec(args),
+            encrypted=True,
+            vantage=vantage,
         )
     with open(args.input) if args.input != "-" else sys.stdin as fh:
         obs.consume(
@@ -187,6 +257,8 @@ def cmd_report(args):
         return _report_platform(args)
     if args.detect:
         return _report_detect(args)
+    if args.blindness:
+        return _report_blindness(args)
     from repro.analysis import export as csv_export
     from repro.analysis.asattribution import render_table1, table1
     from repro.analysis.delays import (
@@ -244,11 +316,24 @@ def cmd_report(args):
     return 0
 
 
+def _missing_input(what, path):
+    """Uniform missing-input contract for the report sub-modes: a
+    one-line stderr message and exit code 2 (argparse's own usage-
+    error code), never a traceback.  An *existing* but empty input
+    still renders its 'nothing found' report with exit 0."""
+    print("error: %s not found: %s" % (what, path), file=sys.stderr)
+    return 2
+
+
 def _report_platform(args):
+    import os
+
     from repro.analysis.platformhealth import (
         platform_health, render_platform_health)
     from repro.observatory.store import SeriesStore
 
+    if not os.path.isdir(args.platform):
+        return _missing_input("--platform directory", args.platform)
     store = SeriesStore(args.platform)
     series, verdicts, summary = platform_health(
         store, rules=_load_rules(args.rules))
@@ -258,6 +343,8 @@ def _report_platform(args):
 
 
 def _report_detect(args):
+    import os
+
     from repro.analysis.detectquality import (
         detect_quality, load_labels, meets_floors, render_detect_quality)
     from repro.observatory.store import SeriesStore
@@ -265,11 +352,29 @@ def _report_detect(args):
     if args.labels is None:
         raise SystemExit("error: --detect requires --labels FILE "
                          "(ground truth from 'simulate --labels')")
+    if not os.path.isdir(args.detect):
+        return _missing_input("--detect directory", args.detect)
+    if not os.path.isfile(args.labels):
+        return _missing_input("--labels file", args.labels)
     labels = load_labels(args.labels)
     series, scores = detect_quality(SeriesStore(args.detect), labels)
     print(render_detect_quality(series, scores))
     # scripting contract: nonzero exit when a quality floor is missed
     return 3 if not meets_floors(scores) else 0
+
+
+def _report_blindness(args):
+    from repro.analysis.blindness import blindness_report, render_blindness
+
+    try:
+        summaries, ratios, violations = blindness_report(args.blindness)
+    except FileNotFoundError as exc:
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 2
+    print(render_blindness(summaries, ratios, violations))
+    # scripting contract: nonzero exit when the sweep is not a
+    # monotone blinding of one workload
+    return 3 if violations else 0
 
 
 def cmd_aggregate(args):
@@ -324,7 +429,9 @@ def cmd_serve(args):
         follow=args.follow, cache_windows=args.cache_windows,
         rules=_load_rules(args.rules),
         max_connections=args.max_connections, ready_callback=ready,
-        stream_threshold=args.stream_threshold)
+        stream_threshold=args.stream_threshold,
+        auth_tokens=args.token, rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst)
 
 
 def cmd_run(args):
@@ -367,12 +474,15 @@ def cmd_run(args):
         window_seconds=args.window, shards=args.shards,
         transport=args.transport, ring_bytes=args.ring_bytes,
         detectors=_detector_spec(args),
+        vantage=_vantage_emitter(args.vantage),
         pace=args.pace, host=args.host, port=args.port,
         cache_windows=args.cache_windows,
         max_connections=args.max_connections,
         stream_threshold=args.stream_threshold,
         rules=None if args.rules is None else _load_rules(args.rules),
         segments=args.segments,
+        auth_tokens=args.token, rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
         exit_when_done=args.exit_when_done, ready_callback=ready)
     return daemon.run()
 
@@ -391,6 +501,11 @@ def build_parser():
     p.add_argument("--labels", metavar="FILE", default=None,
                    help="write attack ground-truth labels (JSON) for "
                         "'report --detect'")
+    p.add_argument("--vantage-db", metavar="FILE", default=None,
+                   help="write the scenario's prefix->ASN/country/org "
+                        "attribution TSV, consumed by 'replay/run "
+                        "--vantage' for the per-ASN and per-country "
+                        "vantage indices")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("replay", help="replay transactions into TSVs")
@@ -430,6 +545,12 @@ def build_parser():
                    help="run streaming abuse detectors and write a "
                         "_detector TSV per window (bare flag = all: "
                         "exfil ddos noh)")
+    p.add_argument("--vantage", metavar="FILE", default=None,
+                   help="derive per-ASN (_vantage_asn) and per-country "
+                        "(_vantage_cc) reachability / time-to-answer "
+                        "index TSVs from every srvip window, using the "
+                        "attribution db written by 'simulate "
+                        "--vantage-db'")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("report", help="simulate and print the Big Picture")
@@ -452,6 +573,14 @@ def build_parser():
     p.add_argument("--labels", metavar="FILE", default=None,
                    help="attack ground-truth JSON for --detect "
                         "(from 'simulate --labels')")
+    p.add_argument("--blindness", metavar="DIR", nargs="+",
+                   default=None,
+                   help="instead of simulating, quantify sensor "
+                        "blindness across an encrypted-fraction sweep "
+                        "of replay directories (first DIR = baseline): "
+                        "per-dataset capture ratios vs baseline, gated "
+                        "on monotone degradation; exits 3 on a "
+                        "monotonicity violation")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("aggregate", help="roll up TSV files + retention")
@@ -504,6 +633,7 @@ def build_parser():
     p.add_argument("--rules", metavar="FILE", default=None,
                    help="alert-rule file for /platform/health "
                         "(default: built-in rules)")
+    _add_auth_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("run", help="live daemon: ingest + HTTP API in "
@@ -561,6 +691,11 @@ def build_parser():
                         "TSV per window, detect-* rules added to "
                         "/platform/health (bare flag = all: exfil "
                         "ddos noh)")
+    p.add_argument("--vantage", metavar="FILE", default=None,
+                   help="derive _vantage_asn/_vantage_cc index TSVs "
+                        "from every srvip window (attribution db from "
+                        "'simulate --vantage-db'), served at /vantage")
+    _add_auth_args(p)
     p.set_defaults(func=cmd_run)
     return parser
 

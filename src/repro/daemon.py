@@ -127,6 +127,15 @@ class LiveDaemon:
         ``_detector`` meta-dataset and
         :data:`~repro.observatory.alerts.DETECTOR_RULES` join the rule
         set, so a flagged eSLD trips ``/platform/health``.
+    vantage:
+        Optional :class:`~repro.analysis.vantage.VantageEmitter`:
+        every flushed ``srvip`` window additionally derives per-ASN
+        and per-country ``_vantage_*`` index windows through the same
+        flush path, served live at ``/vantage``.
+    auth_tokens / rate_limit / rate_burst:
+        Serving admission control, as for ``serve --token`` /
+        ``--rate-limit`` (bearer-token allowlist -> 401, per-client
+        token bucket -> 429 + ``Retry-After``).
     segments:
         Build a columnar sidecar segment
         (:mod:`~repro.observatory.segments`) for every flushed window
@@ -148,7 +157,9 @@ class LiveDaemon:
                  max_connections=64, stream_threshold=None, rules=None,
                  segments=False, exit_when_done=False,
                  ready_callback=None, batch_size=BATCH_SIZE,
-                 dispatch_interval=DISPATCH_INTERVAL, detectors=None):
+                 dispatch_interval=DISPATCH_INTERVAL, detectors=None,
+                 vantage=None, auth_tokens=None, rate_limit=None,
+                 rate_burst=None):
         self._source = source
         self.output_dir = output_dir
         self.datasets = list(datasets)
@@ -164,6 +175,10 @@ class LiveDaemon:
         self.max_connections = max_connections
         self.stream_threshold = stream_threshold
         self.detectors = detectors
+        self.vantage = vantage
+        self.auth_tokens = auth_tokens
+        self.rate_limit = rate_limit
+        self.rate_burst = rate_burst
         base = DEFAULT_RULES if rules is None else rules
         self.rules = list(base) + list(DAEMON_RULES)
         if detectors:
@@ -215,12 +230,14 @@ class LiveDaemon:
                 window_seconds=self.window_seconds,
                 transport=self.transport, keep_dumps=False,
                 telemetry=self.telemetry, flush_hook=self._on_flush,
-                detectors=self.detectors, **extra)
+                detectors=self.detectors, encrypted=True,
+                vantage=self.vantage, **extra)
         return Observatory(
             datasets=specs, output_dir=self.output_dir,
             window_seconds=self.window_seconds, keep_dumps=False,
             telemetry=self.telemetry, flush_hook=self._on_flush,
-            detectors=self.detectors)
+            detectors=self.detectors, encrypted=True,
+            vantage=self.vantage)
 
     async def _main(self):
         loop = asyncio.get_running_loop()
@@ -237,7 +254,9 @@ class LiveDaemon:
             store=self.store, telemetry=self.telemetry,
             rules=self.rules, max_connections=self.max_connections,
             stream_threshold=self.stream_threshold,
-            broker=self.broker, daemon_status=self.status)
+            broker=self.broker, daemon_status=self.status,
+            auth_tokens=self.auth_tokens, rate_limit=self.rate_limit,
+            rate_burst=self.rate_burst)
         saved = []
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:

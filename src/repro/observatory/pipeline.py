@@ -64,13 +64,30 @@ class Observatory:
         :class:`~repro.detect.DetectorSet`.  Every window boundary
         then also emits a ``_detector`` meta-dataset dump through the
         same sink/TSV path (see :mod:`repro.detect`).  Off by default.
+    encrypted:
+        ``True`` enables the ``_encrypted`` channel-feature dataset:
+        blinded DoH/DoT observations (``source`` starting ``"!"``)
+        are diverted from the trackers into an
+        :class:`~repro.observatory.encrypted.
+        EncryptedChannelAggregator`, and every window with encrypted
+        traffic also emits an ``_encrypted`` dump through the same
+        sink/TSV path.  All-plaintext streams emit nothing (zero-row
+        dumps are never written), so enabling it is free until the
+        first blinded record arrives.  Off by default.
+    vantage:
+        A :class:`~repro.analysis.vantage.VantageEmitter` (or None).
+        Each flushed window of the emitter's source dataset
+        (``srvip`` by default) additionally derives per-ASN and
+        per-country ``_vantage_*`` index dumps through the same
+        sink/TSV path.  Off by default.
     """
 
     def __init__(self, datasets=("srvip",), window_seconds=60.0,
                  output_dir=None, keep_dumps=True, tau=300.0,
                  use_bloom_gate=True, hll_precision=8, psl=None,
                  skip_recent_inserts=True, telemetry=False,
-                 flush_hook=None, detectors=None):
+                 flush_hook=None, detectors=None, encrypted=None,
+                 vantage=None):
         self._trackers = {}
         for item in datasets:
             spec = self._resolve(item)
@@ -91,10 +108,19 @@ class Observatory:
                                                     DetectorSet):
             detectors = build_detectors(detectors, psl=psl)
         self.detectors = detectors
+        if encrypted:
+            from repro.observatory.encrypted import \
+                EncryptedChannelAggregator
+            encrypted = EncryptedChannelAggregator()
+        else:
+            encrypted = None
+        self.encrypted = encrypted
+        self.vantage = vantage
         self.windows = WindowManager(
             self._trackers.values(), window_seconds=window_seconds,
             sink=self._sink, skip_recent_inserts=skip_recent_inserts,
             telemetry=self.telemetry, detectors=detectors,
+            encrypted=encrypted,
         )
 
     @staticmethod
@@ -198,3 +224,9 @@ class Observatory:
                              dump.to_timeseries("minutely"))
             if self.flush_hook is not None:
                 self.flush_hook(path)
+        if self.vantage is not None and \
+                dump.dataset == self.vantage.source:
+            # Derived dumps carry their own dataset names, so the
+            # recursion terminates after one level.
+            for derived in self.vantage.derive(dump):
+                self._sink(derived)

@@ -76,6 +76,11 @@ import zlib
 from queue import Empty
 
 from repro.detect import DETECTOR_DATASET, DetectorWindowState
+from repro.observatory.encrypted import (
+    ENCRYPTED_DATASET,
+    EncryptedChannelAggregator,
+    EncryptedWindowState,
+)
 from repro.observatory.pipeline import Observatory
 from repro.observatory.ringbuf import (
     RING_LINK_DELTAS,
@@ -269,6 +274,19 @@ class ShardedObservatory:
         and runs the scorer (EWMA baselines, Bloom generations), so
         the emitted ``_detector`` series is bit-identical to a
         single-process run over the same stream.
+    encrypted:
+        ``True`` enables the ``_encrypted`` channel-feature dataset
+        (see :class:`~repro.observatory.pipeline.Observatory`).
+        Workers divert blinded DoH/DoT observations into per-shard
+        integer accumulators and ship them at every cut as
+        :class:`~repro.observatory.encrypted.EncryptedWindowState`;
+        the coordinator absorbs and emits, so the ``_encrypted``
+        series is bit-identical to a single-process run.
+    vantage:
+        A :class:`~repro.analysis.vantage.VantageEmitter` (or None):
+        every emitted window of the emitter's source dataset also
+        derives ``_vantage_*`` index dumps (coordinator-side only --
+        derivation is a pure function of the merged dump).
     """
 
     def __init__(self, shards=2, datasets=("srvip",), window_seconds=60.0,
@@ -278,7 +296,7 @@ class ShardedObservatory:
                  partition="srcsrv", transport="pickle",
                  ring_bytes=DEFAULT_RING_BYTES, mp_context=None,
                  timeout=300.0, telemetry=False, flush_hook=None,
-                 detectors=None):
+                 detectors=None, encrypted=None, vantage=None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         self.shards = int(shards)
@@ -339,6 +357,13 @@ class ShardedObservatory:
             else:
                 self._detectors = build_detectors(detectors)
                 obs_kw["detectors"] = detectors
+        #: coordinator-side merge target for shard ``_encrypted``
+        #: accumulators; workers get their own via obs_kw
+        self._encrypted = None
+        if encrypted:
+            self._encrypted = EncryptedChannelAggregator()
+            obs_kw["encrypted"] = True
+        self.vantage = vantage
         context = self._resolve_context(mp_context)
         use_ring = self._transport.is_ring
         self._out_q = context.Queue()
@@ -654,14 +679,18 @@ class ShardedObservatory:
         started = time.perf_counter() if self.telemetry.enabled else 0.0
         grouped = {}
         detector_states = {}
+        encrypted_states = {}
         for state in states:
             if isinstance(state, DetectorWindowState):
                 detector_states.setdefault(state.start_ts, []).append(state)
                 continue
+            if isinstance(state, EncryptedWindowState):
+                encrypted_states.setdefault(state.start_ts, []).append(state)
+                continue
             grouped.setdefault((state.start_ts, state.dataset), []).append(state)
         dumps = []
         starts = sorted({start for start, _ in grouped}
-                        | set(detector_states))
+                        | set(detector_states) | set(encrypted_states))
         for start in starts:
             for dataset in self._dataset_order:
                 group = grouped.get((start, dataset))
@@ -671,6 +700,9 @@ class ShardedObservatory:
             if self._detectors is not None:
                 dumps.append(self._merge_detectors(
                     start, detector_states.get(start, ()), grouped))
+            if self._encrypted is not None:
+                dumps.append(self._merge_encrypted(
+                    start, encrypted_states.get(start, ())))
             self.windows_completed += 1
         if self.telemetry.enabled:
             self._merge_timer.observe(time.perf_counter() - started)
@@ -694,6 +726,20 @@ class ShardedObservatory:
                           {"seen": seen, "kept": len(rows)},
                           columns=union_columns(rows))
 
+    def _merge_encrypted(self, start, window_states):
+        """Absorb one window's shard ``_encrypted`` accumulators and
+        emit -- the sharded twin of ``WindowManager._encrypted_dump``.
+        Every field is an integer sum/min/max, so the merged rows (and
+        the ``seen`` trailer, computed from the merged accumulators)
+        are byte-identical to a single process."""
+        for state in window_states:
+            self._encrypted.absorb(state)
+        seen = self._encrypted.seen()
+        rows = self._encrypted.cut(start, start + self.window_seconds)
+        return WindowDump(ENCRYPTED_DATASET, start, rows,
+                          {"seen": seen, "kept": len(rows)},
+                          columns=union_columns(rows))
+
     def _emit(self, dump):
         if self.keep_dumps:
             self.dumps.setdefault(dump.dataset, []).append(dump)
@@ -706,6 +752,12 @@ class ShardedObservatory:
                 self.flush_hook(path)
         if self.sink is not None:
             self.sink(dump)
+        if self.vantage is not None and \
+                dump.dataset == self.vantage.source:
+            # One level of recursion: derived dumps have their own
+            # dataset names, never the emitter's source.
+            for derived in self.vantage.derive(dump):
+                self._emit(derived)
 
     def _emit_platform(self, start, now, worker_rows):
         """Combine the coordinator's snapshot with every shard's rows

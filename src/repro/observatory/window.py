@@ -186,11 +186,23 @@ class WindowManager:
         mode each boundary ships the detectors' mergeable window
         accumulators as :class:`~repro.detect.DetectorWindowState`
         through *state_sink* (scoring happens on the merging side).
+    encrypted:
+        An :class:`~repro.observatory.encrypted.
+        EncryptedChannelAggregator` (or None).  When set, blinded
+        transactions (``source`` starting ``"!"`` -- ciphertext-only
+        DoH/DoT observations) are *diverted*: they count toward
+        ``seen`` but never reach the trackers or detectors, whose
+        datasets would otherwise be polluted by payload-free records;
+        the aggregator folds them into the ``_encrypted``
+        size/timing dataset instead.  In dump mode each boundary emits
+        an ``_encrypted`` :class:`WindowDump` (empty windows write no
+        file), in shard-worker mode each boundary ships an
+        :class:`~repro.observatory.encrypted.EncryptedWindowState`.
     """
 
     def __init__(self, trackers, window_seconds=60.0, sink=None,
                  skip_recent_inserts=True, state_sink=None,
-                 telemetry=None, detectors=None):
+                 telemetry=None, detectors=None, encrypted=None):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         self.trackers = list(trackers)
@@ -198,6 +210,7 @@ class WindowManager:
         self.sink = sink
         self.state_sink = state_sink
         self.detectors = detectors
+        self.encrypted = encrypted
         self.skip_recent_inserts = skip_recent_inserts
         self._window_start = None
         self._seen_in_window = 0
@@ -240,6 +253,9 @@ class WindowManager:
             dumps = self._catch_up(txn.ts)
         self.total_seen += 1
         self._seen_in_window += 1
+        if self.encrypted is not None and txn.source[:1] == "!":
+            self.encrypted.observe(txn)
+            return dumps
         hashes = TxnHashes(txn)  # base hashes shared by all trackers
         for tracker in self.trackers:
             entry = tracker.observe(txn, hashes)
@@ -286,6 +302,13 @@ class WindowManager:
             while j < n and txns[j].ts < end:
                 j += 1
             segment = txns[i:j]
+            count = j - i
+            if self.encrypted is not None:
+                blinded = [t for t in segment if t.source[:1] == "!"]
+                if blinded:
+                    self.encrypted.observe_batch(blinded)
+                    segment = [t for t in segment
+                               if t.source[:1] != "!"]
             hashes_list = [TxnHashes(txn) for txn in segment]
             for t in tracker_range:
                 kept = observe_batches[t](segment, hashes_list)
@@ -293,7 +316,6 @@ class WindowManager:
                     kept_map[names[t]] += kept
             if self.detectors is not None:
                 self.detectors.observe_batch(segment)
-            count = j - i
             self.total_seen += count
             self._seen_in_window += count
             i = j
@@ -386,6 +408,11 @@ class WindowManager:
             dumps.append(detector)
             if self.sink is not None:
                 self.sink(detector)
+        if self.encrypted is not None:
+            blinded = self._encrypted_dump(start)
+            dumps.append(blinded)
+            if self.sink is not None:
+                self.sink(blinded)
         if telemetry.enabled:
             self._flush_timer.observe(time.perf_counter() - started)
             self._rows_counter.inc(total_rows)
@@ -407,6 +434,20 @@ class WindowManager:
         return WindowDump(
             DETECTOR_DATASET, start, rows,
             {"seen": self._seen_in_window, "kept": len(rows)},
+            columns=union_columns(rows))
+
+    def _encrypted_dump(self, start):
+        """Emit the completed window's ``_encrypted`` channel features
+        (same meta-dataset pattern as ``_detector``).  ``seen`` counts
+        the blinded transactions only, computed *from the merged
+        accumulators*, so sharded and single-process trailers agree."""
+        from repro.observatory.encrypted import ENCRYPTED_DATASET
+
+        seen = self.encrypted.seen()
+        rows = self.encrypted.cut(start, start + self.window_seconds)
+        return WindowDump(
+            ENCRYPTED_DATASET, start, rows,
+            {"seen": seen, "kept": len(rows)},
             columns=union_columns(rows))
 
     def _platform_dump(self, start):
@@ -459,6 +500,8 @@ class WindowManager:
         if self.detectors is not None:
             for state in self.detectors.take_states(start):
                 self.state_sink(state)
+        if self.encrypted is not None:
+            self.state_sink(self.encrypted.take_state(start))
         if telemetry.enabled:
             self._flush_timer.observe(time.perf_counter() - started)
         self._advance_window(start)

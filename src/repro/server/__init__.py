@@ -38,12 +38,16 @@ async def build_server(directory, host="127.0.0.1", port=8053,
                        follow=False, cache_windows=256, rules=None,
                        max_connections=64, store=None, telemetry=None,
                        stream_threshold=None, broker=None,
-                       daemon_status=None):
+                       daemon_status=None, auth_tokens=None,
+                       rate_limit=None, rate_burst=None):
     """Wire store + app + server and start listening.
 
-    The default bind is loopback: the API has no auth story, so
-    exposing it beyond the host is an explicit operator decision
-    (``--host 0.0.0.0`` behind a real proxy).
+    The default bind is loopback with no authentication (the
+    historical trust model); *auth_tokens* puts a bearer-token
+    allowlist in front of every route (401 otherwise) and
+    *rate_limit* / *rate_burst* a per-client token bucket (429 +
+    ``Retry-After`` past it), which is what exposing the API beyond
+    the host should pair with.
 
     *broker* (a :class:`~repro.server.push.FlushBroker`) and
     *daemon_status* are the live-daemon hooks: with a broker wired,
@@ -67,7 +71,9 @@ async def build_server(directory, host="127.0.0.1", port=8053,
                          stream_threshold=STREAM_THRESHOLD_BYTES
                          if stream_threshold is None
                          else stream_threshold,
-                         broker=broker, daemon_status=daemon_status)
+                         broker=broker, daemon_status=daemon_status,
+                         auth_tokens=auth_tokens, rate_limit=rate_limit,
+                         rate_burst=rate_burst)
     server = ObservatoryServer(app, host=host, port=port,
                                max_connections=max_connections)
     app.server = server
@@ -77,7 +83,8 @@ async def build_server(directory, host="127.0.0.1", port=8053,
 
 def run(directory, host="127.0.0.1", port=8053, follow=False,
         cache_windows=256, rules=None, max_connections=64,
-        ready_callback=None, stream_threshold=None):
+        ready_callback=None, stream_threshold=None, auth_tokens=None,
+        rate_limit=None, rate_burst=None):
     """Blocking entry point for ``dns-observatory serve``."""
 
     async def _main():
@@ -85,7 +92,9 @@ def run(directory, host="127.0.0.1", port=8053, follow=False,
             directory, host=host, port=port, follow=follow,
             cache_windows=cache_windows, rules=rules,
             max_connections=max_connections,
-            stream_threshold=stream_threshold)
+            stream_threshold=stream_threshold,
+            auth_tokens=auth_tokens, rate_limit=rate_limit,
+            rate_burst=rate_burst)
         if ready_callback is not None:
             ready_callback(server)
         try:

@@ -23,10 +23,21 @@ Endpoints (all GET):
   (``limit=`` newest windows; ``cursor=`` pages oldest-first exactly
   like ``/series``, the answer's ``next_cursor`` feeding the next
   page);
+* ``/vantage`` (or ``/vantage/asn`` / ``/vantage/cc``) -- the latest
+  per-ASN / per-country vantage indices (reachability score,
+  time-to-answer index) from the ``_vantage_*`` series a
+  ``replay/run --vantage`` derivation writes, ranked by traffic;
 * ``/platform/health`` -- alert-rule verdicts over the ``_platform``
   telemetry series -- joined by the ``_detector`` series when abuse
   detectors run, so ``detect-*`` rules trip on flagged eSLDs -- plus
   server/store self-stats.
+
+When *auth_tokens* is configured every request must carry a matching
+``Authorization: Bearer`` credential (anything else is 401 +
+``WWW-Authenticate``), and *rate_limit* puts a per-client-IP token
+bucket in front of routing (over-budget requests get 429 +
+``Retry-After``).  Both gates run before any route work -- an
+unauthorized or throttled request never touches the store.
 
 Responses over closed windows are immutable, so every store-backed
 endpoint carries a strong ETag derived from the exact file revisions
@@ -91,6 +102,16 @@ SSE_HEARTBEAT_SECONDS = 15.0
 #: (plain ``serve --follow`` deployments: the store re-scans per query)
 FOLLOW_POLL_SECONDS = 1.0
 
+#: rate-limit buckets tracked at once; past this the stalest clients
+#: are evicted (an evicted client restarts with a full burst, so the
+#: cap bounds memory without ever locking anyone out)
+MAX_RATE_CLIENTS = 1024
+
+#: the serving names of the vantage groupings (datasets from
+#: :mod:`repro.analysis.vantage`, inlined to keep the server layer
+#: import-independent of the analysis package)
+VANTAGE_GROUPS = {"asn": "_vantage_asn", "cc": "_vantage_cc"}
+
 
 class ObservatoryApp:
     """Async request handler bound to one store + rule set.
@@ -114,18 +135,42 @@ class ObservatoryApp:
         Byte size of the backing files above which ``/series`` and
         ``/key`` answers stream (chunked) instead of materializing;
         0 streams everything with a body.
+    auth_tokens:
+        Iterable of accepted bearer tokens.  When non-empty, every
+        request must carry ``Authorization: Bearer <token>`` with one
+        of them; anything else is answered 401 before routing.
+        Default: no authentication (the historical loopback trust).
+    rate_limit / rate_burst:
+        Per-client-IP token bucket: *rate_limit* requests/second
+        sustained with bursts up to *rate_burst* (default 2 x rate,
+        at least 1).  Over-budget requests get 429 + ``Retry-After``.
+        Default: unlimited.
     """
 
     ROUTES = ("datasets", "series", "topk", "topk_windows", "key",
-              "platform", "stream")
+              "vantage", "platform", "stream")
 
     def __init__(self, store, rules=alerts.DEFAULT_RULES, telemetry=None,
                  server=None, stream_threshold=STREAM_THRESHOLD_BYTES,
-                 broker=None, daemon_status=None):
+                 broker=None, daemon_status=None, auth_tokens=None,
+                 rate_limit=None, rate_burst=None):
         self.store = store
         self.rules = list(rules)
         self.server = server
         self.stream_threshold = int(stream_threshold)
+        self.auth_tokens = frozenset(
+            token for token in (auth_tokens or ()) if token)
+        if rate_limit is not None:
+            rate_limit = float(rate_limit)
+            if rate_limit <= 0:
+                raise ValueError("rate_limit must be > 0")
+        self.rate_limit = rate_limit
+        if rate_burst is None:
+            rate_burst = max(1.0, 2.0 * rate_limit) \
+                if rate_limit is not None else 1.0
+        self.rate_burst = max(1.0, float(rate_burst))
+        #: client IP -> [tokens, last refill (monotonic)]
+        self._buckets = {}
         self.telemetry = resolve_telemetry(telemetry)
         #: optional :class:`~repro.server.push.FlushBroker`; when wired
         #: (the live daemon), follow/stream subscribers wake on flush
@@ -161,6 +206,9 @@ class ObservatoryApp:
             for route in self.ROUTES
         }
         self._errors = self.telemetry.counter("server", "errors")
+        self._unauthorized = self.telemetry.counter("server",
+                                                    "unauthorized")
+        self._throttled = self.telemetry.counter("server", "throttled")
         #: (route, etag) -> encoded 200 body, LRU order (oldest first)
         self._body_cache = OrderedDict()
         if self.telemetry.enabled:
@@ -183,7 +231,61 @@ class ObservatoryApp:
 
     # ------------------------------------------------------------------
 
+    # -- admission: auth, then rate limit ------------------------------
+
+    def _gate(self, request):
+        """401 / 429 response, or ``None`` to admit the request.
+
+        Auth is checked first: an unauthenticated client learns
+        nothing about rate limits (and cannot consume another
+        client's budget knowledge), while an authenticated one is
+        still subject to its per-IP bucket.
+        """
+        if self.auth_tokens:
+            token = request.bearer_token()
+            if token is None or token not in self.auth_tokens:
+                self._unauthorized.inc()
+                response = Response.error(
+                    401, "missing or invalid bearer token")
+                response.headers["WWW-Authenticate"] = \
+                    'Bearer realm="dns-observatory"'
+                return response
+        if self.rate_limit is not None:
+            retry_after = self._take_rate_token(request.client)
+            if retry_after is not None:
+                self._throttled.inc()
+                response = Response.error(
+                    429, "rate limit exceeded")
+                response.headers["Retry-After"] = \
+                    "%d" % max(1, int(retry_after + 0.999))
+                return response
+        return None
+
+    def _take_rate_token(self, client):
+        """Debit one request from *client*'s bucket; ``None`` when
+        admitted, else seconds until a token is available."""
+        now = time.monotonic()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= MAX_RATE_CLIENTS:
+                stalest = min(self._buckets,
+                              key=lambda c: self._buckets[c][1])
+                del self._buckets[stalest]
+            bucket = self._buckets[client] = [self.rate_burst, now]
+        else:
+            bucket[0] = min(self.rate_burst,
+                            bucket[0] + (now - bucket[1]) *
+                            self.rate_limit)
+            bucket[1] = now
+        if bucket[0] >= 1.0:
+            bucket[0] -= 1.0
+            return None
+        return (1.0 - bucket[0]) / self.rate_limit
+
     async def __call__(self, request):
+        gated = self._gate(request)
+        if gated is not None:
+            return gated
         route, handler, args = self._route(request.path)
         self._requests[route].inc()
         started = time.perf_counter()
@@ -216,6 +318,10 @@ class ObservatoryApp:
             return "key", self.handle_key, (parts[1], parts[2])
         if len(parts) == 2 and parts[0] == "stream":
             return "stream", self.handle_stream, (parts[1],)
+        if parts == ["vantage"]:
+            return "vantage", self.handle_vantage, (None,)
+        if len(parts) == 2 and parts[0] == "vantage":
+            return "vantage", self.handle_vantage, (parts[1],)
         if parts == ["platform", "health"]:
             return "platform", self.handle_health, ()
         raise HttpError(404, "no such endpoint: %s" % path)
@@ -716,6 +822,61 @@ class ObservatoryApp:
 
         return self._fragment_response("key", request, etag, fragments,
                                        self._should_stream(refs))
+
+    def handle_vantage(self, request, group):
+        """Latest per-ASN / per-country vantage indices.
+
+        ``/vantage`` answers both groupings, ``/vantage/asn`` or
+        ``/vantage/cc`` just one.  Each grouping reports its newest
+        window's rows ranked by ``by=`` (default ``hits``, capped at
+        ``n=``).  A directory without ``_vantage_*`` series (no
+        ``--vantage`` derivation ran) answers an empty grouping
+        rather than 404: dashboards poll this before the first window
+        flushes.
+        """
+        granularity = self._granularity(request)
+        n = self._int_param(request, "n", 100, 1, MAX_TOPK)
+        by = request.params.get("by", "hits")
+        if group is not None and group not in VANTAGE_GROUPS:
+            raise HttpError(404, "unknown vantage grouping %r (one of "
+                            "%s)" % (group,
+                                     ", ".join(sorted(VANTAGE_GROUPS))))
+        names = (group,) if group is not None \
+            else tuple(sorted(VANTAGE_GROUPS))
+        latest = {}
+        refs = []
+        for name in names:
+            selection = self.store.select(VANTAGE_GROUPS[name],
+                                          granularity, None, None)
+            latest[name] = selection[-1] if selection else None
+            if selection:
+                refs.append(selection[-1])
+        etag = self._etag(refs, "vantage", granularity,
+                          request.raw_query)
+
+        def build():
+            groups = {}
+            for name in names:
+                ref = latest[name]
+                if ref is None:
+                    groups[name] = {"window_ts": None, "entries": []}
+                    continue
+                data = self.store.read_window(ref)
+                ranked = sorted(
+                    data.rows,
+                    key=lambda item: (-item[1].get(by, 0), item[0]))
+                groups[name] = {
+                    "window_ts": data.start_ts,
+                    "entries": [{"key": key, "row": row}
+                                for key, row in ranked[:n]],
+                }
+            return {
+                "granularity": granularity,
+                "by": by,
+                "groups": groups,
+            }
+
+        return self._conditional_json("vantage", request, etag, build)
 
     def handle_health(self, request):
         granularity = self._granularity(request)

@@ -47,8 +47,9 @@ CHUNK_TARGET_BYTES = 16 * 1024
 KEEPALIVE_TIMEOUT = 30.0
 
 REASONS = {
-    200: "OK", 304: "Not Modified", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 431: "Request Header Fields Too Large",
+    200: "OK", 304: "Not Modified", 400: "Bad Request",
+    401: "Unauthorized", 404: "Not Found", 405: "Method Not Allowed",
+    429: "Too Many Requests", 431: "Request Header Fields Too Large",
     500: "Internal Server Error", 503: "Service Unavailable",
 }
 
@@ -65,7 +66,8 @@ class HttpError(Exception):
 class Request:
     """One parsed GET request."""
 
-    __slots__ = ("method", "path", "raw_query", "params", "headers")
+    __slots__ = ("method", "path", "raw_query", "params", "headers",
+                 "client")
 
     def __init__(self, method, target, headers):
         self.method = method
@@ -76,6 +78,18 @@ class Request:
         self.params = dict(parse_qsl(parts.query, keep_blank_values=True))
         #: header names lower-cased
         self.headers = headers
+        #: peer IP string, attached by the connection loop (None for
+        #: requests constructed directly in tests)
+        self.client = None
+
+    def bearer_token(self):
+        """The ``Authorization: Bearer`` credential, or ``None``."""
+        raw = self.headers.get("authorization", "")
+        scheme, _, token = raw.partition(" ")
+        if scheme.lower() != "bearer":
+            return None
+        token = token.strip()
+        return token or None
 
     def wants_gzip(self):
         accept = self.headers.get("accept-encoding", "")
@@ -433,6 +447,9 @@ class ObservatoryServer:
             writer.close()
 
     async def _serve_client(self, reader, writer):
+        peername = writer.get_extra_info("peername")
+        client = peername[0] if isinstance(peername, tuple) and peername \
+            else None
         try:
             while True:
                 try:
@@ -445,6 +462,10 @@ class ObservatoryServer:
                     return
                 if request is None:
                     return
+                # the auth / rate-limit layer keys its decisions on the
+                # connection's peer address, not anything spoofable in
+                # the request head
+                request.client = client
                 close = self._closing.is_set() or \
                     request.headers.get("connection", "").lower() == "close"
                 if request.method != "GET":

@@ -65,6 +65,10 @@ class RecursiveResolver:
         #: the resolver's own IPv6 address, when it can query
         #: dual-stack nameservers over v6 (None = v4-only transport)
         self.ipv6_addr = None
+        #: upstream channel transport: ``"plain"`` (UDP/53, sensors
+        #: see full payloads) or ``"doh"``/``"dot"`` (the sensor above
+        #: this resolver captures only size/timing observations)
+        self.transport = "plain"
         self._rng = hub.fork("resolver:%s" % ip)
         self.rrcache = TtlCache(cache_size)
         self.negcache = NegativeCache(cache_size)

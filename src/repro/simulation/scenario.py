@@ -162,7 +162,8 @@ class Scenario:
                  dnssec_sld_fraction=0.25, wire_check_fraction=0.0,
                  low_negttl_specials=True, prefetch_resolver_fraction=0.0,
                  resolver_ipv6_fraction=0.3, diurnal_amplitude=0.0,
-                 diurnal_period=86400.0):
+                 diurnal_period=86400.0, encrypted_fraction=0.0,
+                 doh_share=0.5, padding_block=128):
         #: master seed for all RNG substreams
         self.seed = int(seed)
         #: simulated duration in seconds
@@ -223,6 +224,25 @@ class Scenario:
         if not 0.0 <= self.diurnal_amplitude < 1.0:
             raise ValueError("diurnal_amplitude must be in [0, 1)")
         self.diurnal_period = float(diurnal_period)
+        #: fraction of resolvers whose upstream channel is encrypted
+        #: (DoH/DoT): their sensors see only size/timing observations,
+        #: feeding the ``_encrypted`` dataset instead of the plaintext
+        #: trackers.  Per-resolver membership is a pure hash of the
+        #: resolver IP, so the encrypted sets *nest* as the fraction
+        #: rises -- the blindness sweep is monotone by construction.
+        self.encrypted_fraction = float(encrypted_fraction)
+        if not 0.0 <= self.encrypted_fraction <= 1.0:
+            raise ValueError("encrypted_fraction must be in [0, 1]")
+        #: among encrypted resolvers, the share using DoH (the rest
+        #: use DoT); DoH adds more per-message framing overhead
+        self.doh_share = float(doh_share)
+        if not 0.0 <= self.doh_share <= 1.0:
+            raise ValueError("doh_share must be in [0, 1]")
+        #: RFC 8467-style padding block size applied on encrypted
+        #: channels before TLS framing
+        self.padding_block = int(padding_block)
+        if self.padding_block < 1:
+            raise ValueError("padding_block must be >= 1")
 
     # -- presets --------------------------------------------------------
 

@@ -63,8 +63,18 @@ class SieChannel:
                 resolver.neg_ttl_cap = _NEGTTL_CLAMP_SECONDS
             if hub.uniform_hash("v6:" + ip) < scenario.resolver_ipv6_fraction:
                 resolver.ipv6_addr = "2620:fe:0:%x::53" % i
+            # Encrypted-channel membership is a pure per-IP hash
+            # threshold, so the DoH/DoT population *nests* as
+            # encrypted_fraction rises: 0 -> today's byte-identical
+            # plaintext stream, and every increase only blinds
+            # resolvers that were already blinded at higher fractions.
+            if hub.uniform_hash("enc:" + ip) < scenario.encrypted_fraction:
+                resolver.transport = "doh" \
+                    if hub.uniform_hash("doh:" + ip) < scenario.doh_share \
+                    else "dot"
             self.resolvers.append(resolver)
-            self.sensors.append(Sensor(resolver, self._capture))
+            self.sensors.append(Sensor(resolver, self._capture,
+                                       padding_block=scenario.padding_block))
         self.workload = WorkloadMix(scenario, self.dns)
         # -- stream state and accounting --
         self._buffer = []

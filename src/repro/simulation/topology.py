@@ -65,6 +65,14 @@ _TAIL_MIX = {
     "colocated": 0.01, "regional": 0.20, "distant": 0.74, "impaired": 0.05,
 }
 
+#: registration countries for the long-tail hosters/ISPs, weighted
+#: toward the hosting-heavy economies; assignment is a pure per-ASN
+#: hash so adding the country layer perturbs no existing RNG stream
+_TAIL_COUNTRIES = (
+    "US", "US", "DE", "DE", "NL", "FR", "GB", "RU", "CN", "JP",
+    "BR", "IN", "CA", "PL", "SG", "AU",
+)
+
 _AS_NAME_TEMPLATES = {
     "AMAZON": "AMAZON-%02d - Amazon.com, Inc., US",
     "VERISIGN": "VERISIGN-AS%d - VeriSign Global Registry Services, US",
@@ -141,6 +149,9 @@ class Topology:
         self.orgs = {}
         self.asdb = AsDatabase()
         self.asnames = AsNameRegistry()
+        #: ASN -> ISO country code, the registration-country layer the
+        #: vantage indices (:mod:`repro.analysis.vantage`) group by
+        self.countries = {}
         self._next_asn = 64500
         self._used_slash16 = set()
         self._next_v6_index = 0
@@ -162,6 +173,7 @@ class Topology:
                 self._next_asn += 1
                 org.asns.append(asn)
                 self.asnames.add(asn, template % (i + 1))
+                self.countries[asn] = "US"  # the Table 1 cast is US-registered
                 prefix = self._allocate_prefix()
                 org.prefixes.append(prefix)
                 self.asdb.add_prefix(prefix, asn)
@@ -182,6 +194,9 @@ class Topology:
             org.asns.append(asn)
             self.asnames.add(
                 asn, "%s-NET - %s Hosting Ltd" % (name, name.capitalize()))
+            self.countries[asn] = _TAIL_COUNTRIES[int(
+                self._hub.uniform_hash("cc:%d" % asn)
+                * len(_TAIL_COUNTRIES))]
             prefix = self._allocate_prefix()
             org.prefixes.append(prefix)
             self.asdb.add_prefix(prefix, asn)

@@ -315,3 +315,38 @@ def test_report_detect_missed_attack_exits_3(tmp_path, capsys):
 def test_report_detect_requires_labels(tmp_path):
     with pytest.raises(SystemExit):
         main(["report", "--detect", str(tmp_path)])
+
+
+class TestMissingInputExitCodes:
+    """Missing input paths exit 2 with a diagnostic, never a
+    traceback; an existing-but-empty directory keeps rc 0."""
+
+    def test_report_platform_missing_dir(self, tmp_path, capsys):
+        rc = main(["report", "--platform", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_report_detect_missing_dir(self, tmp_path, capsys):
+        labels = tmp_path / "labels.json"
+        labels.write_text("[]")
+        rc = main(["report", "--detect", str(tmp_path / "nope"),
+                   "--labels", str(labels)])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_report_detect_missing_labels_file(self, tmp_path, capsys):
+        rc = main(["report", "--detect", str(tmp_path),
+                   "--labels", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_report_blindness_missing_dir(self, tmp_path, capsys):
+        rc = main(["report", "--blindness", str(tmp_path / "nope")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_replay_missing_stream(self, tmp_path, capsys):
+        rc = main(["replay", str(tmp_path / "nope.tsv"),
+                   str(tmp_path / "out")])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err

@@ -563,3 +563,152 @@ def test_detector_rows_survive_tsv_roundtrip(qnames):
     assert [key for key, _ in once.rows] == [key for key, _ in rows]
     assert twice.rows == once.rows
     assert twice.stats == once.stats == {"rows": len(rows)}
+
+
+# -- encrypted-DNS scenario differentials --------------------------------
+#
+# The blinding model makes three promises the harness below checks
+# through the real CLI, for five random workloads each:
+#
+#  1. an encrypted-capable scenario at fraction 0 is byte-identical to
+#     a scenario that never heard of encryption (enabling the feature
+#     costs nothing until the first resolver moves);
+#  2. raising the fraction *only* blinds -- observation volume (the
+#     ``seen`` accounting) is invariant, content datasets degrade
+#     monotonically, and the ``_encrypted`` channel only grows (the
+#     per-resolver hash-threshold assignment nests);
+#  3. the ``_encrypted`` and ``_vantage_*`` meta-series are
+#     bit-identical (``#stats`` included) between a sharded run and a
+#     single process, like the ``_detector`` promise above.
+
+def _simulate_stream(cli_main, tmp_path, seed, name, extra=()):
+    stream = tmp_path / ("%s.txt" % name)
+    assert cli_main(["simulate", "--preset", "tiny", "--seed", str(seed),
+                     "--duration", "120", "--qps", "15",
+                     "-o", str(stream)] + list(extra)) == 0
+    return stream
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_plaintext_encrypted_scenario_byte_identical(seed, tmp_path):
+    """simulate --encrypted-fraction 0 (with non-default DoH share and
+    padding knobs armed) produces the exact bytes of a simulate that
+    never saw the flags, and replays to the same TSV tree."""
+    from repro.cli import main as cli_main
+
+    plain = _simulate_stream(cli_main, tmp_path, seed, "plain")
+    armed = _simulate_stream(
+        cli_main, tmp_path, seed, "armed",
+        ["--encrypted-fraction", "0", "--doh-share", "0.9",
+         "--padding-block", "468"])
+    assert plain.read_bytes() == armed.read_bytes()
+    out_plain = tmp_path / "out-plain"
+    out_armed = tmp_path / "out-armed"
+    assert cli_main(["replay", str(plain), str(out_plain)]) == 0
+    assert cli_main(["replay", str(armed), str(out_armed)]) == 0
+    ours, theirs = _tsv_tree(str(out_plain)), _tsv_tree(str(out_armed))
+    assert sorted(ours) == sorted(theirs)
+    for name in ours:
+        assert ours[name] == theirs[name], "row mismatch in %s" % name
+    # and no _encrypted series materialized for an all-plaintext stream
+    assert not any(name.startswith("_encrypted.")
+                   for name in os.listdir(str(out_plain)))
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_blindness_monotone_as_fraction_rises(seed, tmp_path):
+    """A 0 -> 0.4 -> 0.8 encrypted-fraction sweep of one workload:
+    observation volume is invariant, every content dataset's weight is
+    non-increasing, the _encrypted channel's is non-decreasing, and
+    ``report --blindness`` agrees (exit 0 in order, exit 3 shuffled)."""
+    from repro.analysis.blindness import (
+        ENCRYPTED_DATASET, evaluate_blindness, summarize_directory)
+    from repro.cli import main as cli_main
+
+    sweep = []
+    for fraction in ("0", "0.4", "0.8"):
+        stream = _simulate_stream(
+            cli_main, tmp_path, seed, "f%s" % fraction,
+            ["--encrypted-fraction", fraction])
+        out = tmp_path / ("out-f%s" % fraction)
+        assert cli_main(["replay", str(stream), str(out)]) == 0
+        sweep.append((fraction, summarize_directory(str(out))))
+    assert evaluate_blindness(sweep) == []
+    base = sweep[0][1]
+    high = sweep[-1][1]
+    # blinding moved real traffic: the channel is populated and the
+    # content datasets lost weight
+    assert high[ENCRYPTED_DATASET].weight > 0
+    # a heavily blinded sweep may drop qname entirely (all windows
+    # empty -> no files), which summarizes as weight 0
+    high_qname = high.get("qname")
+    assert (high_qname.weight if high_qname is not None else 0.0) \
+        < base["qname"].weight
+    # sensors still saw every transaction: each window's seen
+    # accounting is invariant across the sweep.  (A dataset can lose
+    # whole *files* -- a window whose every row was blinded writes
+    # nothing -- so the comparison is per existing window, and a
+    # blinded sweep never grows a content dataset's window set.)
+    def seen_by_window(directory, dataset):
+        return {d.start_ts: d.stats.get("seen")
+                for d in read_series(directory, dataset, "minutely")}
+
+    for dataset in base:
+        base_seen = seen_by_window(str(tmp_path / "out-f0"), dataset)
+        for fraction, _summaries in sweep[1:]:
+            here = seen_by_window(
+                str(tmp_path / ("out-f%s" % fraction)), dataset)
+            assert set(here) <= set(base_seen), dataset
+            for start_ts, seen in here.items():
+                assert seen == base_seen[start_ts], (dataset, start_ts)
+    # the CLI gate agrees, both ways
+    dirs = [str(tmp_path / ("out-f%s" % f)) for f in ("0", "0.4", "0.8")]
+    assert cli_main(["report", "--blindness"] + dirs) == 0
+    assert cli_main(["report", "--blindness", dirs[2], dirs[0],
+                     dirs[1]]) == 3
+
+
+def _meta_series_tree(directory, prefixes=("_encrypted.", "_vantage_")):
+    """{filename: full text} for the encrypted/vantage meta-series."""
+    out = {}
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".tsv") and name.startswith(prefixes):
+            with open(os.path.join(directory, name),
+                      encoding="utf-8") as fh:
+                out[name] = fh.read()
+    return out
+
+
+@pytest.mark.parametrize("seed", DIFF_SEEDS)
+def test_sharded_encrypted_and_vantage_bit_identical(seed, tmp_path):
+    """replay --vantage of an encrypted-mix stream == the same with
+    --shards 2 --transport binary: the _encrypted and _vantage_* files
+    agree byte for byte, #stats trailers included."""
+    from repro.cli import main as cli_main
+
+    vdb = tmp_path / "vantage.tsv"
+    stream = _simulate_stream(
+        cli_main, tmp_path, seed, "mix",
+        ["--encrypted-fraction", "0.5", "--vantage-db", str(vdb)])
+    single = tmp_path / "single"
+    sharded = tmp_path / "sharded"
+    assert cli_main(["replay", str(stream), str(single),
+                     "--vantage", str(vdb)]) == 0
+    assert cli_main(["replay", str(stream), str(sharded),
+                     "--vantage", str(vdb),
+                     "--shards", "2", "--transport", "binary"]) == 0
+    ours = _meta_series_tree(str(single))
+    theirs = _meta_series_tree(str(sharded))
+    assert any(name.startswith("_encrypted.") for name in ours), \
+        "no _encrypted series written"
+    assert any(name.startswith("_vantage_") for name in ours), \
+        "no _vantage series written"
+    assert sorted(ours) == sorted(theirs)
+    for name in ours:
+        assert ours[name] == theirs[name], "byte mismatch in %s" % name
+    # the rest of the tree agrees too (rows; flush accounting may
+    # legitimately differ only for _platform, excluded by _tsv_tree)
+    rows_ours, rows_theirs = _tsv_tree(str(single)), _tsv_tree(str(sharded))
+    assert sorted(rows_ours) == sorted(rows_theirs)
+    for name in rows_ours:
+        assert rows_ours[name] == rows_theirs[name]
